@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction benches.
+ *
+ * Environment knobs:
+ *   PRISM_SCALE = paper | small | tiny   (default: paper)
+ *   PRISM_APPS  = comma-separated app filter (default: all eight)
+ */
+
+#ifndef PRISM_BENCH_BENCH_UTIL_HH
+#define PRISM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workload/apps.hh"
+#include "workload/experiment.hh"
+
+namespace prism {
+namespace bench {
+
+inline AppScale
+scaleFromEnv()
+{
+    const char *s = std::getenv("PRISM_SCALE");
+    if (!s || !std::strcmp(s, "paper"))
+        return AppScale::Paper;
+    if (!std::strcmp(s, "small"))
+        return AppScale::Small;
+    if (!std::strcmp(s, "tiny"))
+        return AppScale::Tiny;
+    std::fprintf(stderr, "unknown PRISM_SCALE '%s'\n", s);
+    std::exit(1);
+}
+
+inline const char *
+scaleName(AppScale s)
+{
+    switch (s) {
+      case AppScale::Paper: return "paper";
+      case AppScale::Small: return "small";
+      case AppScale::Tiny: return "tiny";
+    }
+    return "?";
+}
+
+inline std::vector<AppSpec>
+appsFromEnv(AppScale scale)
+{
+    std::vector<AppSpec> all = standardApps(scale);
+    const char *filter = std::getenv("PRISM_APPS");
+    if (!filter)
+        return all;
+    // Comma-separated substrings: an app is selected when any token
+    // appears in its name (e.g. PRISM_APPS=Water selects both Water
+    // variants).
+    std::vector<std::string> tokens;
+    std::string f = filter;
+    std::size_t pos = 0;
+    while (pos <= f.size()) {
+        std::size_t comma = f.find(',', pos);
+        if (comma == std::string::npos)
+            comma = f.size();
+        if (comma > pos)
+            tokens.push_back(f.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    std::vector<AppSpec> out;
+    for (auto &a : all) {
+        for (const auto &t : tokens) {
+            if (a.name.find(t) != std::string::npos) {
+                out.push_back(a);
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+inline void
+banner(const char *what)
+{
+    AppScale s = scaleFromEnv();
+    std::printf("# PRISM reproduction: %s\n", what);
+    std::printf("# machine: 8 nodes x 4 procs, 8KB L1 / 32KB L2, "
+                "4KB pages, 64B lines\n");
+    std::printf("# scale: %s (PRISM_SCALE to change)\n\n", scaleName(s));
+}
+
+} // namespace bench
+} // namespace prism
+
+#endif // PRISM_BENCH_BENCH_UTIL_HH

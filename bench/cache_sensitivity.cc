@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Section 4.2 cache-sensitivity reproduction.
+ *
+ * The paper notes that with a 16 KB L1 and a 1 MB L2 the SPLASH
+ * working sets fit in cache, communication misses dominate (which
+ * cost the same in S-COMA and LA-NUMA mode), and "the choice of page
+ * modes does not affect performance significantly" — which is why the
+ * evaluation deliberately runs 8 KB / 32 KB caches.  This bench runs
+ * both machine shapes under SCOMA and LANUMA and prints the ratio.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+namespace {
+
+struct Shape {
+    const char *name;
+    std::uint32_t l1;
+    std::uint32_t l2;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace prism;
+    using namespace prism::bench;
+
+    banner("Section 4.2 — cache-size sensitivity of the page-mode "
+           "choice (LANUMA time / SCOMA time)");
+
+    const Shape shapes[] = {
+        {"8KB/32KB (paper eval)", 8 * 1024, 32 * 1024},
+        {"16KB/1MB (fits WS)", 16 * 1024, 1024 * 1024},
+    };
+
+    std::printf("%-12s %24s %24s\n", "Application", shapes[0].name,
+                shapes[1].name);
+
+    for (const auto &app : appsFromEnv(scaleFromEnv())) {
+        std::printf("%-12s", app.name.c_str());
+        for (const Shape &sh : shapes) {
+            MachineConfig scoma;
+            scoma.l1Bytes = sh.l1;
+            scoma.l2Bytes = sh.l2;
+            scoma.policy = PolicyKind::Scoma;
+            RunMetrics s = runOnce(scoma, app);
+
+            MachineConfig lanuma = scoma;
+            lanuma.policy = PolicyKind::LaNuma;
+            RunMetrics l = runOnce(lanuma, app);
+
+            std::printf(" %23.2fx",
+                        static_cast<double>(l.execCycles) /
+                            static_cast<double>(s.execCycles));
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+    std::printf("\n# Paper's claim: with the large caches the ratio "
+                "collapses toward 1.0 because\n# capacity-related "
+                "misses vanish and only communication misses remain "
+                "— they\n# cost the same in either page mode.\n");
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Host-side component micro-benchmarks (google-benchmark): throughput
+ * of the hot simulator data structures.  These measure the simulator
+ * itself, not the simulated machine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "coherence/directory.hh"
+#include "coherence/pit.hh"
+#include "mem/cache.hh"
+#include "mem/tlb.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace prism {
+namespace {
+
+void
+BM_CacheLookupHit(benchmark::State &state)
+{
+    SetAssocCache c(32 * 1024, 4, 64);
+    for (std::uint64_t a = 0; a < 32 * 1024; a += 64)
+        c.insert(a, Mesi::Shared);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.lookup(addr));
+        addr = (addr + 64) & (32 * 1024 - 1);
+    }
+}
+BENCHMARK(BM_CacheLookupHit);
+
+void
+BM_CacheInsertEvict(benchmark::State &state)
+{
+    SetAssocCache c(8 * 1024, 1, 64);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.insert(addr, Mesi::Modified));
+        addr += 64;
+    }
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+void
+BM_TlbLookup(benchmark::State &state)
+{
+    Tlb t(128);
+    for (VPage vp = 0; vp < 128; ++vp)
+        t.insert(vp, vp);
+    VPage vp = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.lookup(vp));
+        vp = (vp + 1) & 127;
+    }
+}
+BENCHMARK(BM_TlbLookup);
+
+void
+BM_PitReverseHinted(benchmark::State &state)
+{
+    Pit pit(2, 18);
+    for (FrameNum f = 0; f < 1024; ++f)
+        pit.install(f, 0x1000 + f, 0, 0, f, PageMode::Scoma, 64,
+                    FgTag::Invalid);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        bool hash = false;
+        benchmark::DoNotOptimize(
+            pit.reverse(0x1000 + (i & 1023), i & 1023, hash));
+        ++i;
+    }
+}
+BENCHMARK(BM_PitReverseHinted);
+
+void
+BM_PitReverseHash(benchmark::State &state)
+{
+    Pit pit(2, 18);
+    for (FrameNum f = 0; f < 1024; ++f)
+        pit.install(f, 0x1000 + f, 0, 0, f, PageMode::Scoma, 64,
+                    FgTag::Invalid);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        bool hash = false;
+        benchmark::DoNotOptimize(
+            pit.reverse(0x1000 + (i & 1023), kInvalidFrame, hash));
+        ++i;
+    }
+}
+BENCHMARK(BM_PitReverseHash);
+
+void
+BM_DirectoryAccess(benchmark::State &state)
+{
+    Directory d(8192, 2, 22, 64);
+    for (GPage gp = 0; gp < 64; ++gp)
+        d.createPage(gp, DirState::Owned, 0);
+    Rng rng(1);
+    for (auto _ : state) {
+        GLine gl = rng.below(64 * 64);
+        benchmark::DoNotOptimize(d.access(gl));
+    }
+}
+BENCHMARK(BM_DirectoryAccess);
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        eq.scheduleIn(1, [&sink] { ++sink; });
+        eq.runOne();
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_RngDraw(benchmark::State &state)
+{
+    Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.below(1024));
+}
+BENCHMARK(BM_RngDraw);
+
+} // namespace
+} // namespace prism
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Table 3 reproduction: page frames allocated and average page-frame
+ * utilization under the SCOMA and LANUMA configurations (private and
+ * shared memory; real frames only — imaginary LA-NUMA frames consume
+ * no memory).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace prism;
+    using namespace prism::bench;
+
+    banner("Table 3 — page consumption and utilization statistics");
+
+    std::printf("%-12s %12s %12s %14s %14s\n", "Application",
+                "SCOMA", "LANUMA", "SCOMA util", "LANUMA util");
+
+    MachineConfig base;
+    for (const auto &app : appsFromEnv(scaleFromEnv())) {
+        MachineConfig scoma_cfg = base;
+        scoma_cfg.policy = PolicyKind::Scoma;
+        RunMetrics s = runOnce(scoma_cfg, app);
+
+        MachineConfig lanuma_cfg = base;
+        lanuma_cfg.policy = PolicyKind::LaNuma;
+        RunMetrics l = runOnce(lanuma_cfg, app);
+
+        std::printf("%-12s %12llu %12llu %14.3f %14.3f\n",
+                    app.name.c_str(),
+                    static_cast<unsigned long long>(s.framesAllocated),
+                    static_cast<unsigned long long>(l.framesAllocated),
+                    s.avgUtilization, l.avgUtilization);
+        std::fflush(stdout);
+    }
+    std::printf("\n# Paper's shape: SCOMA allocates several times more "
+                "frames than LANUMA (client\n# page-cache copies) and "
+                "has lower utilization (sparsely used replicated "
+                "pages).\n");
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Table 5 reproduction: remote misses and client page-outs under the
+ * adaptive configurations Dyn-FCFS, Dyn-Util and Dyn-LRU (page cache
+ * sized as in SCOMA-70).  Page-outs do not occur in Dyn-FCFS.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace prism;
+    using namespace prism::bench;
+
+    banner("Table 5 — remote misses and page-outs, adaptive configs");
+
+    std::printf("%-12s | %10s %10s %10s | %9s %9s\n", "Application",
+                "Dyn-FCFS", "Dyn-Util", "Dyn-LRU", "PO-Util", "PO-LRU");
+
+    MachineConfig base;
+    const std::vector<PolicyKind> policies = {
+        PolicyKind::DynFcfs, PolicyKind::DynUtil, PolicyKind::DynLru};
+    for (const auto &app : appsFromEnv(scaleFromEnv())) {
+        auto rs = runPolicySweep(base, app, policies);
+        std::printf("%-12s | %10llu %10llu %10llu | %9llu %9llu\n",
+                    app.name.c_str(),
+                    static_cast<unsigned long long>(
+                        rs[0].metrics.remoteMisses),
+                    static_cast<unsigned long long>(
+                        rs[1].metrics.remoteMisses),
+                    static_cast<unsigned long long>(
+                        rs[2].metrics.remoteMisses),
+                    static_cast<unsigned long long>(
+                        rs[1].metrics.clientPageOuts),
+                    static_cast<unsigned long long>(
+                        rs[2].metrics.clientPageOuts));
+        std::fflush(stdout);
+    }
+    std::printf("\n# Paper's shape: the adaptive configurations cut "
+                "remote misses well below\n# LANUMA and page-outs far "
+                "below SCOMA-70 (Dyn-FCFS has none at all).\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Lazy page migration demo (paper Section 3.5).
+ *
+ * A page's working set moves from node to node in phases.  The demo
+ * runs the same program with migration off and on, narrating what the
+ * hardware did: the dynamic home follows the workers, misdirected
+ * requests from stale PIT hints are forwarded through the static
+ * home, and clients refresh their hints lazily from responses —
+ * with no global TLB invalidations anywhere.
+ */
+
+#include <cstdio>
+
+#include "core/machine.hh"
+#include "workload/workload.hh"
+
+using namespace prism;
+
+static constexpr std::uint32_t kPhases = 4;
+static constexpr std::uint32_t kSweeps = 8;
+
+static CoTask
+program(Proc &p, std::uint32_t num_nodes)
+{
+    const NodeId my_node = p.id() / 4;
+    co_await p.barrier(0);
+    for (std::uint32_t phase = 0; phase < kPhases; ++phase) {
+        if (my_node == phase % num_nodes && p.id() % 4 == 0) {
+            for (std::uint32_t s = 0; s < kSweeps; ++s) {
+                for (std::uint32_t l = 0; l < 64; ++l) {
+                    co_await p.write(makeVAddr(
+                        kSharedVsid, 0,
+                        static_cast<std::uint64_t>(l) * 64));
+                }
+            }
+        }
+        co_await p.barrier(0);
+    }
+}
+
+static void
+runOnceAndReport(bool migration)
+{
+    MachineConfig cfg;
+    cfg.migrationEnabled = migration;
+    cfg.migrationThreshold = 48;
+    Machine m(cfg);
+    std::uint64_t gsid = m.shmget(7, 4 * kPageBytes);
+    m.shmatAll(kSharedVsid, gsid);
+    m.run([&](Proc &p) { return program(p, m.numNodes()); });
+
+    GPage gp0 = gsid << kPageNumBits;
+    NodeId dyn_home = kInvalidNode;
+    std::uint64_t migrations = 0, forwards = 0, remote = 0;
+    for (NodeId n = 0; n < m.numNodes(); ++n) {
+        auto &c = m.node(n).controller();
+        if (c.isDynHome(gp0))
+            dyn_home = n;
+        migrations += c.stats().migrationsOut;
+        forwards += c.stats().forwards;
+        remote += c.stats().remoteMisses;
+    }
+    std::printf("migration %-3s | exec %9llu cycles | remote misses "
+                "%6llu | homes moved %llu | forwards %llu | final dyn "
+                "home: node %u (static home: node 0)\n",
+                migration ? "ON" : "OFF",
+                (unsigned long long)m.metrics().totalCycles,
+                (unsigned long long)remote,
+                (unsigned long long)migrations,
+                (unsigned long long)forwards, dyn_home);
+}
+
+int
+main()
+{
+    std::printf("Lazy page migration demo: page 0's writers rotate "
+                "across nodes in %u phases.\n\n", kPhases);
+    runOnceAndReport(false);
+    runOnceAndReport(true);
+    std::printf("\nWith migration ON the dynamic home follows the "
+                "active writer, so its misses\nbecome node-local; "
+                "stale clients are re-routed through the static home "
+                "and\nlearn the new home from the reply — no global "
+                "coordination, ever.\n");
+    return 0;
+}

@@ -1,0 +1,384 @@
+/**
+ * @file
+ * The PRISM coherence controller (paper Section 3).
+ *
+ * One controller sits between each node's memory bus and network
+ * interface.  It dispatches protocol handlers based on the page-frame
+ * mode of the physical address (Figure 4): Local-mode transactions are
+ * ignored, S-COMA transactions consult the frame's fine-grain tags,
+ * LA-NUMA transactions are serviced by fetching from the page's home,
+ * and Command-mode frames form the kernel's interface to the PIT.
+ *
+ * The controller implements both sides of the inter-node protocol: the
+ * client side (misses, upgrades, writebacks, incoming invalidations and
+ * interventions) and the home side (full-map directory, per-line
+ * request serialization, 2-party and 3-party transactions, serialized
+ * invalidation fan-out), plus lazy page migration (Section 3.5).
+ *
+ * Protocol handlers run as coroutines on the deterministic event
+ * queue; controller occupancy, PIT, directory-cache, memory and
+ * network timings are charged along the way.
+ */
+
+#ifndef PRISM_COHERENCE_CONTROLLER_HH
+#define PRISM_COHERENCE_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "coherence/directory.hh"
+#include "coherence/msg.hh"
+#include "coherence/pit.hh"
+#include "core/config.hh"
+#include "mem/addr.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "net/network.hh"
+#include "sim/coro_sync.hh"
+#include "sim/event_queue.hh"
+#include "sim/task.hh"
+
+namespace prism {
+
+/** How a processor miss was ultimately satisfied. */
+enum class MissSource : std::uint8_t {
+    LocalMem, //!< data supplied by this node's memory (page cache/local)
+    Remote,   //!< data or permission obtained through the protocol
+    Retry,    //!< line in Transit or already outstanding; re-arbitrate
+    BadFrame, //!< the frame's mapping was torn down; re-translate
+};
+
+/** Result of CoherenceController::serviceMiss. */
+struct MissResult {
+    MissSource source = MissSource::Retry;
+    bool exclusive = false; //!< processor may cache the line E/M
+};
+
+// (An invalidation that races a non-exclusive reply poisons the
+// transaction; serviceMiss converts that to a Retry outcome.)
+
+/** Outcome of a local processor-cache intervention. */
+struct InterventionResult {
+    Tick done;      //!< tick at which the intervention completes
+    bool found;     //!< some processor cache held the line
+    bool dirty;     //!< a Modified copy was extracted
+    bool exclusive; //!< a copy was held E or M (owner-class copy)
+};
+
+/**
+ * Node-side services the controller needs: processor-cache
+ * interventions and kernel cooperation for page migration.
+ * Implemented by core::Node to keep the coherence layer independent
+ * of the machine assembly.
+ */
+class ControllerHost
+{
+  public:
+    virtual ~ControllerHost() = default;
+
+    /**
+     * Snoop all local processor caches for a line of @p frame.
+     * Invalidate the copies (@p invalidate) or downgrade them to
+     * Shared.  Dirty data, if found, is written toward memory.
+     */
+    virtual InterventionResult intervene(FrameNum frame,
+                                         std::uint32_t line_idx,
+                                         bool invalidate, Tick at) = 0;
+
+    /**
+     * True while any node-level bus transaction (miss, upgrade or
+     * cache-to-cache fill) is outstanding on a line of @p frame.
+     * Page flushes must wait for these to drain.
+     */
+    virtual bool anyBusPending(FrameNum frame) const = 0;
+
+    /** True if any local processor cache holds a line of @p frame. */
+    virtual bool anyCachedCopy(FrameNum frame) const = 0;
+
+    /** Allocate a real frame to receive a migrating home page. */
+    virtual FrameNum migrationAllocFrame(GPage gp) = 0;
+
+    /** Unmap and free the departing home page's frame. */
+    virtual void migrationFreeFrame(FrameNum frame, GPage gp) = 0;
+
+    /** Home-kernel client bitmask for @p gp (migration metadata). */
+    virtual std::uint64_t homeKernelClients(GPage gp) = 0;
+
+    /** Install home-kernel metadata for an arriving page. */
+    virtual void homeKernelAdopt(GPage gp, std::uint64_t clients) = 0;
+
+    /** Drop home-kernel metadata for a departed page. */
+    virtual void homeKernelDepart(GPage gp) = 0;
+};
+
+/** Per-node statistics the controller maintains. */
+struct ControllerStats {
+    std::uint64_t remoteMisses = 0;   //!< fetched data from a remote node
+    std::uint64_t localMemHits = 0;   //!< misses satisfied by local memory
+    std::uint64_t upgrades = 0;       //!< write permission w/o data fetch
+    std::uint64_t retries = 0;        //!< bus retries (Transit et al.)
+    std::uint64_t invalsSent = 0;
+    std::uint64_t invalsReceived = 0;
+    std::uint64_t fetchesServed = 0;  //!< 3-party interventions served
+    std::uint64_t nacksSent = 0;
+    std::uint64_t writebacksSent = 0;
+    std::uint64_t replaceHintsSent = 0;
+    std::uint64_t forwards = 0;       //!< misdirected requests forwarded
+    std::uint64_t homeRequests = 0;
+    std::uint64_t migrationsOut = 0;
+    std::uint64_t migrationsIn = 0;
+    std::uint64_t firewallRejects = 0;
+};
+
+/** The coherence controller of one node. */
+class CoherenceController
+{
+  public:
+    CoherenceController(NodeId self, const MachineConfig &cfg,
+                        EventQueue &eq, Dram &dram, ControllerHost &host,
+                        std::function<NodeId(GPage)> static_home_of,
+                        std::function<void(Msg &&)> send);
+
+    NodeId self() const { return self_; }
+    Pit &pit() { return pit_; }
+    const Pit &pit() const { return pit_; }
+    Directory &directory() { return dir_; }
+    const ControllerStats &stats() const { return stats_; }
+    const LineGeometry &geometry() const { return geo_; }
+
+    // --- Processor side -------------------------------------------------
+
+    /**
+     * Service an L2 miss (or upgrade) that local snooping could not
+     * satisfy.  Runs on the processor's coroutine; on return @p out
+     * says whether data/permission is ready or the bus must retry.
+     *
+     * @param frame       the physical frame being accessed
+     * @param line_idx    line index within the page
+     * @param for_write   the processor needs exclusivity
+     * @param local_copy  a valid local copy of the data exists
+     *                    (processor S copy or peer S copy), so an
+     *                    Upgrade (permission-only) suffices
+     */
+    CoTask serviceMiss(FrameNum frame, std::uint32_t line_idx,
+                       bool for_write, bool local_copy, MissResult *out);
+
+    /**
+     * Final validity check immediately before a processor-cache fill.
+     * Closes the window between transaction completion and the bus
+     * fill: an invalidation arriving in that window must prevent the
+     * stale fill.  For LA-NUMA frames this consumes the fill token
+     * created by the transaction; for S-COMA frames it re-checks the
+     * fine-grain tag against the intended fill state: M/E fills
+     * require an Exclusive tag, S fills any valid tag.
+     * @retval false the fill must be abandoned (caller retries).
+     */
+    bool finishFill(FrameNum frame, std::uint32_t line_idx, Mesi intended);
+
+    /**
+     * Note the eviction of a line from the node's last-level caches.
+     * S-COMA/Local dirty victims land in local memory; LA-NUMA dirty
+     * victims are written back to the home, and clean-exclusive
+     * LA-NUMA victims send a replacement hint.
+     */
+    void evictLine(FrameNum frame, std::uint32_t line_idx, Mesi victim_state);
+
+    /**
+     * An M/E line was downgraded to Shared by an intra-node
+     * cache-to-cache read.  For LA-NUMA frames ownership must be
+     * relinquished to the home (keep-shared writeback, carrying data
+     * if the copy was dirty) — otherwise the node's now-Shared copies
+     * could later be dropped silently while the full-map directory
+     * still records the node as owner.  For Local/S-COMA frames dirty
+     * data is reflected into local memory.
+     */
+    void reflectDowngrade(FrameNum frame, std::uint32_t line_idx,
+                          bool dirty);
+
+    // --- Kernel command interface (paging) -------------------------------
+
+    /** Install a Local-mode mapping (private memory). */
+    void installLocalMapping(FrameNum frame);
+
+    /** Install a client mapping (after a client page fault). */
+    void installClientMapping(FrameNum frame, GPage gpage,
+                              NodeId static_home, NodeId dyn_home,
+                              FrameNum home_frame, PageMode mode);
+
+    /** Install a home mapping (page-in at the home node). */
+    void installHomeMapping(FrameNum frame, GPage gpage);
+
+    /**
+     * Flush a client page for page-out: wait for Transit lines to
+     * settle, invalidate local processor copies, write dirty lines
+     * back to the home.  @p wb_lines (optional) receives the number of
+     * lines written back.
+     */
+    CoTask flushClientPage(FrameNum frame, std::uint64_t *wb_lines);
+
+    /** Remove a client PIT entry after flushing. */
+    void removeClientMapping(FrameNum frame);
+
+    /**
+     * Synchronous check that a flushed client page is truly quiet:
+     * no bus- or controller-level transaction on its lines, no valid
+     * fine-grain tag, and no processor-cache copy.  The kernel loops
+     * flushClientPage until this holds, then removes the mapping in
+     * the same event (so nothing can slip in between).
+     */
+    bool clientPageQuiescent(FrameNum frame) const;
+
+    /**
+     * Home side of a client page-out: drop the client from every
+     * line's sharer set.  @return directory access cycles charged.
+     */
+    Cycles homeRemoveClient(GPage gpage, NodeId client);
+
+    /**
+     * Home page-out: drop directory state for @p gpage (all clients
+     * must have been flushed first) and remove the home PIT entry.
+     */
+    void removeHomeMapping(FrameNum frame, GPage gpage);
+
+    /**
+     * Dyn-Util support: among client S-COMA frames in @p candidates,
+     * find the one with the most Invalid fine-grain tags, skipping
+     * frames with any Transit line.  kInvalidFrame if none qualify.
+     */
+    FrameNum mostInvalidFrame(const std::vector<FrameNum> &candidates) const;
+
+    /** True if this node is currently the dynamic home of @p gpage. */
+    bool isDynHome(GPage gpage) const { return dir_.hasPage(gpage); }
+
+    /**
+     * True when no protocol handler holds a line lock of @p gpage and
+     * no 3-party intervention is outstanding for its lines.  Home
+     * page-outs must wait for this before tearing down the directory.
+     */
+    bool homePageQuiescent(GPage gpage) const;
+
+    /** Trigger a lazy migration of @p gpage toward @p new_home. */
+    void requestMigration(GPage gpage, NodeId new_home);
+
+    /**
+     * Static-home registry lookup: current dynamic home of @p gpage,
+     * or kInvalidNode if this node anchors no such page.
+     */
+    NodeId registryLookup(GPage gpage) const;
+
+    /** Register this controller's counters under @p prefix. */
+    void registerStats(class StatRegistry &reg, const std::string &prefix);
+
+    // --- Network side ------------------------------------------------------
+
+    /** Deliver a protocol message to this controller. */
+    void onMessage(Msg m);
+
+    /** Outstanding client transactions (draining / test support). */
+    std::size_t pendingTransactions() const { return pending_.size(); }
+
+  private:
+    /** Client-side transaction awaiting a reply plus ack collection. */
+    struct ClientTxn {
+        explicit ClientTxn(EventQueue &eq) : latch(eq) {}
+        CoLatch latch;
+        bool exclusive = false;
+        bool dataFetched = false; //!< data crossed the network
+        bool invalidatedMidFlight = false;
+        NodeId dynHome = kInvalidNode;
+        FrameNum homeFrame = kInvalidFrame;
+    };
+
+    /** Home-side wait for an owner's response in a 3-party leg. */
+    struct HomeWait {
+        explicit HomeWait(EventQueue &eq) : event(eq) {}
+        CoEvent event;
+        bool nacked = false;
+        bool dirty = false;
+    };
+
+    /** Per-home-page migration/traffic metadata. */
+    struct HomeMeta {
+        FrameNum homeFrame = kInvalidFrame;
+        std::vector<std::uint32_t> accessesByNode;
+        std::uint64_t totalAccesses = 0;
+        bool migrating = false;
+        /** Cached client frame numbers (dirClientFrameHints option). */
+        std::vector<FrameNum> clientFrames;
+    };
+
+    /** Payload attached to a MigrateData message. */
+    struct MigrationPayload {
+        std::vector<DirEntry> dir;
+        std::uint64_t kernelClients = 0;
+    };
+
+    // Timing helpers.
+    DelayAwaiter delay(Cycles c) { return DelayAwaiter(eq_, c); }
+    DelayAwaiter occupy(Cycles c);
+    DelayAwaiter dramAccess();
+
+    // Messaging helpers.
+    void send(Msg &&m);
+    void forward(Msg &&m);
+
+    CoMutex &lineLock(GPage gpage, std::uint32_t line_idx);
+
+    // Client-side pieces.  @p poisoned reports a racing invalidation
+    // that voided a non-exclusive grant.
+    CoTask runClientTxn(MsgType mt, PitEntry &e, FrameNum frame,
+                        std::uint32_t line_idx, MissResult *out,
+                        bool *poisoned);
+
+    // Handler coroutines (network side).
+    FireAndForget handleHomeRequest(Msg m);
+    FireAndForget handleWriteback(Msg m);
+    FireAndForget handleClientInv(Msg m);
+    FireAndForget handleClientFetch(Msg m);
+    FireAndForget handleClientReply(Msg m);
+    FireAndForget handleMigratePrep(Msg m);
+    FireAndForget handleMigrateData(Msg m);
+
+    // Home-side helpers.
+    void noteHomeAccess(GPage gpage, NodeId requester);
+    void maybeTriggerMigration(GPage gpage);
+
+    NodeId self_;
+    const MachineConfig &cfg_;
+    EventQueue &eq_;
+    Dram &dram_;
+    ControllerHost &host_;
+    std::function<NodeId(GPage)> staticHomeOf_;
+    std::function<void(Msg &&)> sendFn_;
+    LineGeometry geo_;
+
+    Pit pit_;
+    Directory dir_;
+    FcfsResource ctrlRes_; //!< protocol-engine occupancy
+
+    /** Granted-but-not-yet-filled LA-NUMA lines (see finishFill). */
+    struct FillToken {
+        bool invalidated = false;
+    };
+
+    std::unordered_map<GLine, ClientTxn *> pending_;
+    std::unordered_map<GLine, FillToken> fillPending_;
+    std::unordered_map<GLine, HomeWait *> homeWaits_;
+    std::unordered_map<GPage, std::vector<std::unique_ptr<CoMutex>>> locks_;
+    std::unordered_map<GPage, HomeMeta> homeMeta_;
+    /** Static-home registry: current dynamic home of pages I anchor. */
+    std::unordered_map<GPage, NodeId> registry_;
+    /** Tombstones for pages that migrated away from this node. */
+    std::unordered_map<GPage, NodeId> movedTo_;
+
+    ControllerStats stats_;
+};
+
+} // namespace prism
+
+#endif // PRISM_COHERENCE_CONTROLLER_HH

@@ -1,0 +1,103 @@
+#include "coherence/directory.hh"
+
+#include "sim/logging.hh"
+
+namespace prism {
+
+const char *
+dirStateName(DirState s)
+{
+    switch (s) {
+      case DirState::Uncached: return "U";
+      case DirState::Shared: return "S";
+      case DirState::Owned: return "O";
+    }
+    return "?";
+}
+
+Directory::Directory(std::uint32_t cache_entries, Cycles hit_cycles,
+                     Cycles miss_cycles, std::uint32_t lines_per_page)
+    : linesPerPage_(lines_per_page), hitCycles_(hit_cycles),
+      missCycles_(miss_cycles), cacheTags_(cache_entries, ~0ULL)
+{
+    prism_assert((cache_entries & (cache_entries - 1)) == 0,
+                 "directory cache entries must be a power of two");
+}
+
+void
+Directory::createPage(GPage gp, DirState init, NodeId owner)
+{
+    prism_assert(!hasPage(gp), "directory page already present");
+    std::vector<DirEntry> v(linesPerPage_);
+    for (auto &e : v) {
+        e.state = init;
+        if (init == DirState::Owned) {
+            e.owner = owner;
+        } else if (init == DirState::Shared) {
+            e.addSharer(owner);
+        }
+    }
+    pages_.emplace(gp, std::move(v));
+}
+
+void
+Directory::removePage(GPage gp)
+{
+    pages_.erase(gp);
+}
+
+void
+Directory::adoptPage(GPage gp, std::vector<DirEntry> entries)
+{
+    prism_assert(!hasPage(gp), "adopting an already-present page");
+    prism_assert(entries.size() == linesPerPage_, "bad adopted page size");
+    pages_.emplace(gp, std::move(entries));
+}
+
+std::vector<DirEntry>
+Directory::releasePage(GPage gp)
+{
+    auto it = pages_.find(gp);
+    prism_assert(it != pages_.end(), "releasing an absent page");
+    std::vector<DirEntry> out = std::move(it->second);
+    pages_.erase(it);
+    return out;
+}
+
+DirEntry *
+Directory::line(GPage gp, std::uint32_t idx)
+{
+    auto it = pages_.find(gp);
+    if (it == pages_.end())
+        return nullptr;
+    prism_assert(idx < it->second.size(), "directory line index OOB");
+    return &it->second[idx];
+}
+
+const DirEntry *
+Directory::line(GPage gp, std::uint32_t idx) const
+{
+    return const_cast<Directory *>(this)->line(gp, idx);
+}
+
+std::vector<DirEntry> *
+Directory::page(GPage gp)
+{
+    auto it = pages_.find(gp);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+Cycles
+Directory::access(GLine gl)
+{
+    ++lookups_;
+    const std::size_t idx = gl & (cacheTags_.size() - 1);
+    if (cacheTags_[idx] == gl) {
+        ++cacheHits_;
+        return hitCycles_;
+    }
+    cacheTags_[idx] = gl;
+    return missCycles_;
+}
+
+} // namespace prism

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Full-map cache-line directory kept at each page's (dynamic) home.
+ *
+ * One entry per cache line of every page this node is home for.  The
+ * backing store is DRAM fronted by an 8K-entry directory cache (paper
+ * Section 4.1: 2-cycle hit, 22-cycle miss); the cache is modeled as a
+ * direct-mapped tag filter for timing only.
+ */
+
+#ifndef PRISM_COHERENCE_DIRECTORY_HH
+#define PRISM_COHERENCE_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "sim/types.hh"
+
+namespace prism {
+
+/** Stable state of one line in the directory. */
+enum class DirState : std::uint8_t {
+    /** Only home memory holds the line; no node-level copies. */
+    Uncached,
+    /** Home memory valid; `sharers` nodes hold read copies. */
+    Shared,
+    /** `owner` holds the line exclusively; home memory may be stale. */
+    Owned,
+};
+
+/** Human-readable state name. */
+const char *dirStateName(DirState s);
+
+/** One line's directory entry. */
+struct DirEntry {
+    DirState state = DirState::Uncached;
+    std::uint64_t sharers = 0; //!< bitmask of sharer nodes
+    NodeId owner = kInvalidNode;
+
+    bool
+    isSharer(NodeId n) const
+    {
+        return (sharers >> n) & 1;
+    }
+
+    void addSharer(NodeId n) { sharers |= 1ULL << n; }
+    void removeSharer(NodeId n) { sharers &= ~(1ULL << n); }
+
+    std::uint32_t
+    sharerCount() const
+    {
+        return static_cast<std::uint32_t>(__builtin_popcountll(sharers));
+    }
+};
+
+/** The directory of one home node. */
+class Directory
+{
+  public:
+    Directory(std::uint32_t cache_entries, Cycles hit_cycles,
+              Cycles miss_cycles, std::uint32_t lines_per_page);
+
+    /** Create entries for every line of @p gp (page-in at home). */
+    void createPage(GPage gp, DirState init, NodeId owner);
+
+    /** Drop all entries of @p gp (page-out / migration away). */
+    void removePage(GPage gp);
+
+    /** Install a page's entries verbatim (migration arrival). */
+    void adoptPage(GPage gp, std::vector<DirEntry> entries);
+
+    /** Steal a page's entries (migration departure). */
+    std::vector<DirEntry> releasePage(GPage gp);
+
+    bool hasPage(GPage gp) const { return pages_.find(gp) != pages_.end(); }
+
+    /** Entry for line @p idx of page @p gp; nullptr if page absent. */
+    DirEntry *line(GPage gp, std::uint32_t idx);
+    const DirEntry *line(GPage gp, std::uint32_t idx) const;
+
+    /** All entries of a page; nullptr if absent. */
+    std::vector<DirEntry> *page(GPage gp);
+
+    /**
+     * Timing of one directory access to global line @p gl, exercising
+     * the directory-cache model.
+     */
+    Cycles access(GLine gl);
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t cacheHits() const { return cacheHits_; }
+    std::size_t numPages() const { return pages_.size(); }
+
+  private:
+    std::uint32_t linesPerPage_;
+    Cycles hitCycles_;
+    Cycles missCycles_;
+    std::vector<GLine> cacheTags_; //!< direct-mapped timing filter
+    std::unordered_map<GPage, std::vector<DirEntry>> pages_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t cacheHits_ = 0;
+};
+
+} // namespace prism
+
+#endif // PRISM_COHERENCE_DIRECTORY_HH

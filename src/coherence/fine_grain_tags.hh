@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fine-grain access tags for S-COMA page frames (paper Section 3.2).
+ *
+ * The controller maintains a two-bit tag per cache line of every
+ * S-COMA frame:
+ *   T (Transit)   — a coherence operation is outstanding; local bus
+ *                   transactions for the line are retried,
+ *   E (Exclusive) — the node holds the only copy; all local accesses
+ *                   proceed under the local bus protocol,
+ *   S (Shared)    — other nodes may hold copies; writes must upgrade,
+ *   I (Invalid)   — the node holds no valid copy.
+ */
+
+#ifndef PRISM_COHERENCE_FINE_GRAIN_TAGS_HH
+#define PRISM_COHERENCE_FINE_GRAIN_TAGS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace prism {
+
+/** The two-bit line state. */
+enum class FgTag : std::uint8_t {
+    Invalid,
+    Shared,
+    Exclusive,
+    Transit,
+};
+
+/** Human-readable tag name. */
+inline const char *
+fgTagName(FgTag t)
+{
+    switch (t) {
+      case FgTag::Invalid: return "I";
+      case FgTag::Shared: return "S";
+      case FgTag::Exclusive: return "E";
+      case FgTag::Transit: return "T";
+    }
+    return "?";
+}
+
+/** The tag array of one S-COMA page frame. */
+class FrameTags
+{
+  public:
+    explicit FrameTags(std::uint32_t lines_per_page, FgTag init)
+        : tags_(lines_per_page, init)
+    {
+    }
+
+    FgTag get(std::uint32_t line_idx) const { return tags_[line_idx]; }
+
+    void set(std::uint32_t line_idx, FgTag t) { tags_[line_idx] = t; }
+
+    std::uint32_t lines() const
+    {
+        return static_cast<std::uint32_t>(tags_.size());
+    }
+
+    /** Number of lines whose tag is @p t. */
+    std::uint32_t
+    count(FgTag t) const
+    {
+        std::uint32_t n = 0;
+        for (auto x : tags_) {
+            if (x == t)
+                ++n;
+        }
+        return n;
+    }
+
+    /** True if any line is in Transit. */
+    bool
+    anyTransit() const
+    {
+        for (auto x : tags_) {
+            if (x == FgTag::Transit)
+                return true;
+        }
+        return false;
+    }
+
+    /** Set every line to @p t (page-in / flush). */
+    void
+    fill(FgTag t)
+    {
+        for (auto &x : tags_)
+            x = t;
+    }
+
+  private:
+    std::vector<FgTag> tags_;
+};
+
+} // namespace prism
+
+#endif // PRISM_COHERENCE_FINE_GRAIN_TAGS_HH

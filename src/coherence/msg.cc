@@ -1,0 +1,69 @@
+#include "coherence/msg.hh"
+
+namespace prism {
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::ReqS: return "ReqS";
+      case MsgType::ReqX: return "ReqX";
+      case MsgType::Upgrade: return "Upgrade";
+      case MsgType::Writeback: return "Writeback";
+      case MsgType::ReplaceHint: return "ReplaceHint";
+      case MsgType::Data: return "Data";
+      case MsgType::UpgAck: return "UpgAck";
+      case MsgType::Inv: return "Inv";
+      case MsgType::Fetch: return "Fetch";
+      case MsgType::DataFwd: return "DataFwd";
+      case MsgType::XferNotice: return "XferNotice";
+      case MsgType::FetchNack: return "FetchNack";
+      case MsgType::InvAck: return "InvAck";
+      case MsgType::PageInReq: return "PageInReq";
+      case MsgType::PageInRep: return "PageInRep";
+      case MsgType::PageOutNotice: return "PageOutNotice";
+      case MsgType::PageOutNoticeAck: return "PageOutNoticeAck";
+      case MsgType::HomePageOutReq: return "HomePageOutReq";
+      case MsgType::HomePageOutAck: return "HomePageOutAck";
+      case MsgType::MigrateReq: return "MigrateReq";
+      case MsgType::MigratePrep: return "MigratePrep";
+      case MsgType::MigrateData: return "MigrateData";
+      case MsgType::MigrateDone: return "MigrateDone";
+    }
+    return "?";
+}
+
+bool
+isKernelMsg(MsgType t)
+{
+    switch (t) {
+      case MsgType::PageInReq:
+      case MsgType::PageInRep:
+      case MsgType::PageOutNotice:
+      case MsgType::PageOutNoticeAck:
+      case MsgType::HomePageOutReq:
+      case MsgType::HomePageOutAck:
+        return true;
+      default:
+        return false;
+    }
+}
+
+MsgSize
+Msg::sizeClass() const
+{
+    switch (type) {
+      case MsgType::Data:
+      case MsgType::DataFwd:
+        return MsgSize::Data;
+      case MsgType::Writeback:
+      case MsgType::XferNotice:
+        return dirty ? MsgSize::Data : MsgSize::Control;
+      case MsgType::MigrateData:
+        return MsgSize::Page;
+      default:
+        return MsgSize::Control;
+    }
+}
+
+} // namespace prism

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Page frame modes (paper Section 3.2).
+ *
+ * A mode is associated with every page frame and dictates how the
+ * coherence controller handles bus transactions on that frame, as well
+ * as which coherence protocol runs.
+ */
+
+#ifndef PRISM_COHERENCE_PAGE_MODE_HH
+#define PRISM_COHERENCE_PAGE_MODE_HH
+
+#include <cstdint>
+
+namespace prism {
+
+/** The behaviour the controller applies to a page frame. */
+enum class PageMode : std::uint8_t {
+    /** Private local memory; the controller takes no action. */
+    Local,
+    /**
+     * Real frame used as a page cache for a globally shared page;
+     * the controller consults per-line fine-grain tags.
+     */
+    Scoma,
+    /**
+     * Imaginary frame backing no memory; the controller acts as the
+     * memory and fetches every line from the page's home node
+     * (Locally-Addressable NUMA — CC-NUMA behaviour without global
+     * physical addresses).
+     */
+    LaNuma,
+    /**
+     * Extension (Section 3.2): true CC-NUMA frame whose accesses
+     * bypass the PIT; physical addresses directly identify home
+     * memory.  Modeled as LA-NUMA with zero translation overhead and
+     * no fault-containment firewall.
+     */
+    CcNuma,
+    /**
+     * Memory-mapped command interface between the local processors
+     * and the coherence controller, used by the OS during paging.
+     */
+    Command,
+};
+
+/** Human-readable mode name. */
+inline const char *
+pageModeName(PageMode m)
+{
+    switch (m) {
+      case PageMode::Local: return "local";
+      case PageMode::Scoma: return "s-coma";
+      case PageMode::LaNuma: return "la-numa";
+      case PageMode::CcNuma: return "cc-numa";
+      case PageMode::Command: return "command";
+    }
+    return "?";
+}
+
+/** True for modes that back a globally shared page at a client/home. */
+inline bool
+isGlobalMode(PageMode m)
+{
+    return m == PageMode::Scoma || m == PageMode::LaNuma ||
+           m == PageMode::CcNuma;
+}
+
+} // namespace prism
+
+#endif // PRISM_COHERENCE_PAGE_MODE_HH

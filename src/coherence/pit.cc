@@ -1,0 +1,106 @@
+#include "coherence/pit.hh"
+
+#include "sim/logging.hh"
+
+namespace prism {
+
+PitEntry &
+Pit::install(FrameNum frame, GPage gpage, NodeId static_home,
+             NodeId dyn_home, FrameNum home_frame_hint, PageMode mode,
+             std::uint32_t lines_per_page, FgTag init_tag)
+{
+    prism_assert(byFrame_.find(frame) == byFrame_.end(),
+                 "PIT entry already present for frame %llu",
+                 static_cast<unsigned long long>(frame));
+    PitEntry &e = byFrame_[frame];
+    e.gpage = gpage;
+    e.staticHome = static_home;
+    e.dynHome = dyn_home;
+    e.homeFrameHint = home_frame_hint;
+    e.mode = mode;
+    e.accessed = std::make_unique<LineMask>(lines_per_page);
+    if (mode == PageMode::Scoma)
+        e.tags = std::make_unique<FrameTags>(lines_per_page, init_tag);
+    if (gpage != kInvalidGPage)
+        byPage_[gpage] = frame;
+    return e;
+}
+
+PitEntry &
+Pit::installLocal(FrameNum frame, std::uint32_t lines_per_page)
+{
+    return install(frame, kInvalidGPage, kInvalidNode, kInvalidNode,
+                   kInvalidFrame, PageMode::Local, lines_per_page,
+                   FgTag::Invalid);
+}
+
+void
+Pit::remove(FrameNum frame)
+{
+    auto it = byFrame_.find(frame);
+    prism_assert(it != byFrame_.end(), "removing absent PIT entry");
+    if (it->second.gpage != kInvalidGPage)
+        byPage_.erase(it->second.gpage);
+    byFrame_.erase(it);
+}
+
+PitEntry *
+Pit::entry(FrameNum frame)
+{
+    auto it = byFrame_.find(frame);
+    return it == byFrame_.end() ? nullptr : &it->second;
+}
+
+const PitEntry *
+Pit::entry(FrameNum frame) const
+{
+    auto it = byFrame_.find(frame);
+    return it == byFrame_.end() ? nullptr : &it->second;
+}
+
+FrameNum
+Pit::reverse(GPage gpage, FrameNum hint, bool &hash_used) const
+{
+    hash_used = false;
+    if (hint != kInvalidFrame) {
+        auto it = byFrame_.find(hint);
+        if (it != byFrame_.end() && it->second.gpage == gpage)
+            return hint;
+    }
+    hash_used = true;
+    auto it = byPage_.find(gpage);
+    return it == byPage_.end() ? kInvalidFrame : it->second;
+}
+
+bool
+Pit::writeAllowed(FrameNum frame, NodeId node) const
+{
+    const PitEntry *e = entry(frame);
+    if (!e || e->capabilities == 0)
+        return true;
+    return (e->capabilities >> node) & 1;
+}
+
+std::vector<FrameNum>
+Pit::allFrames() const
+{
+    std::vector<FrameNum> out;
+    out.reserve(byFrame_.size());
+    for (const auto &[frame, e] : byFrame_)
+        out.push_back(frame);
+    return out;
+}
+
+std::vector<FrameNum>
+Pit::globalFrames() const
+{
+    std::vector<FrameNum> out;
+    out.reserve(byFrame_.size());
+    for (const auto &[frame, e] : byFrame_) {
+        if (e.gpage != kInvalidGPage)
+            out.push_back(frame);
+    }
+    return out;
+}
+
+} // namespace prism

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Page Information Table (paper Section 3.2, Figure 5).
+ *
+ * The PIT translates between node-private physical frames and global
+ * pages.  Forward translation (frame -> global page) is a direct
+ * indexed lookup; reverse translation (global page -> frame) first
+ * tries the frame-number hint piggybacked on coherence messages and
+ * falls back to a hash search.  Each entry also records the page's
+ * static and (cached) dynamic home, the cached home frame number, the
+ * frame's mode, the fine-grain tags for S-COMA frames, and an optional
+ * capability list implementing the inter-node memory firewall.
+ */
+
+#ifndef PRISM_COHERENCE_PIT_HH
+#define PRISM_COHERENCE_PIT_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/fine_grain_tags.hh"
+#include "coherence/page_mode.hh"
+#include "mem/addr.hh"
+#include "sim/types.hh"
+
+namespace prism {
+
+/** Bitmask over lines of a page, for utilization accounting. */
+class LineMask
+{
+  public:
+    explicit LineMask(std::uint32_t lines)
+        : words_((lines + 63) / 64, 0), lines_(lines)
+    {
+    }
+
+    void set(std::uint32_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
+
+    bool
+    test(std::uint32_t i) const
+    {
+        return (words_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    /** Number of set bits. */
+    std::uint32_t
+    popcount() const
+    {
+        std::uint32_t n = 0;
+        for (auto w : words_)
+            n += static_cast<std::uint32_t>(__builtin_popcountll(w));
+        return n;
+    }
+
+    std::uint32_t lines() const { return lines_; }
+
+  private:
+    std::vector<std::uint64_t> words_;
+    std::uint32_t lines_;
+};
+
+/** One PIT entry: the translation state of one local page frame. */
+struct PitEntry {
+    GPage gpage = kInvalidGPage;    //!< global page backed by this frame
+    NodeId staticHome = kInvalidNode;
+    NodeId dynHome = kInvalidNode;  //!< cached dynamic home (may be stale)
+    FrameNum homeFrameHint = kInvalidFrame; //!< cached home frame number
+    PageMode mode = PageMode::Local;
+
+    /** Fine-grain tags; present only for S-COMA frames. */
+    std::unique_ptr<FrameTags> tags;
+
+    /**
+     * Capability list: bitmask of nodes allowed to act on this frame
+     * remotely.  0 means "no firewall" (all nodes allowed).
+     */
+    std::uint64_t capabilities = 0;
+
+    /** Lines of this frame ever accessed (Table 3 utilization). */
+    std::unique_ptr<LineMask> accessed;
+
+    /** Last tick the controller touched this frame (page LRU approx). */
+    Tick lastAccess = 0;
+
+    /** Remote fetches for this page since mapping (policy input). */
+    std::uint64_t remoteFetches = 0;
+};
+
+/** The Page Information Table of one node's coherence controller. */
+class Pit
+{
+  public:
+    /**
+     * @param pit_cycles      SRAM lookup time (2) or DRAM (10)
+     * @param hash_extra      additional cycles for a hash reverse search
+     */
+    Pit(Cycles pit_cycles, Cycles hash_extra)
+        : pitCycles_(pit_cycles), hashExtra_(hash_extra)
+    {
+    }
+
+    /** Install a translation for @p frame. @return the new entry. */
+    PitEntry &install(FrameNum frame, GPage gpage, NodeId static_home,
+                      NodeId dyn_home, FrameNum home_frame_hint,
+                      PageMode mode, std::uint32_t lines_per_page,
+                      FgTag init_tag);
+
+    /** Install a Local-mode entry (private memory, no global page). */
+    PitEntry &installLocal(FrameNum frame, std::uint32_t lines_per_page);
+
+    /** Remove the entry for @p frame (page-out). */
+    void remove(FrameNum frame);
+
+    /** Entry for @p frame, or nullptr. */
+    PitEntry *entry(FrameNum frame);
+    const PitEntry *entry(FrameNum frame) const;
+
+    /**
+     * Zero-cost structural query: frame currently mapping @p gpage,
+     * or kInvalidFrame.  (Timing-free; used by kernel bookkeeping.)
+     */
+    FrameNum
+    frameOf(GPage gpage) const
+    {
+        auto it = byPage_.find(gpage);
+        return it == byPage_.end() ? kInvalidFrame : it->second;
+    }
+
+    /**
+     * Reverse-translate @p gpage using @p hint first.
+     * @param[out] hash_used true if the hash fallback was needed
+     * @return the frame, or kInvalidFrame if the page is not mapped.
+     */
+    FrameNum reverse(GPage gpage, FrameNum hint, bool &hash_used) const;
+
+    /** Timing of a forward lookup. */
+    Cycles forwardCycles() const { return pitCycles_; }
+
+    /** Timing of a reverse lookup. */
+    Cycles
+    reverseCycles(bool hash_used) const
+    {
+        return hash_used ? pitCycles_ + hashExtra_ : pitCycles_;
+    }
+
+    /**
+     * Memory-firewall check: may @p node perform a remote write-class
+     * action on @p frame?  Entries with an empty capability list admit
+     * everyone (firewall disabled for that page).
+     */
+    bool writeAllowed(FrameNum frame, NodeId node) const;
+
+    /** Count of wild writes rejected by the firewall. */
+    std::uint64_t rejectedWrites() const { return rejectedWrites_; }
+
+    /** Record a firewall rejection. */
+    void noteRejectedWrite() { ++rejectedWrites_; }
+
+    /** Number of live entries. */
+    std::size_t size() const { return byFrame_.size(); }
+
+    /** All live frames mapping global pages (policy scans). */
+    std::vector<FrameNum> globalFrames() const;
+
+    /** All live frames, local-mode included (accounting scans). */
+    std::vector<FrameNum> allFrames() const;
+
+  private:
+    Cycles pitCycles_;
+    Cycles hashExtra_;
+    std::unordered_map<FrameNum, PitEntry> byFrame_;
+    std::unordered_map<GPage, FrameNum> byPage_;
+    std::uint64_t rejectedWrites_ = 0;
+};
+
+} // namespace prism
+
+#endif // PRISM_COHERENCE_PIT_HH

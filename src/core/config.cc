@@ -1,0 +1,20 @@
+#include "core/config.hh"
+
+namespace prism {
+
+const char *
+policyName(PolicyKind k)
+{
+    switch (k) {
+      case PolicyKind::Scoma: return "SCOMA";
+      case PolicyKind::LaNuma: return "LANUMA";
+      case PolicyKind::Scoma70: return "SCOMA-70";
+      case PolicyKind::DynFcfs: return "Dyn-FCFS";
+      case PolicyKind::DynUtil: return "Dyn-Util";
+      case PolicyKind::DynLru: return "Dyn-LRU";
+      case PolicyKind::DynBoth: return "Dyn-Both";
+    }
+    return "?";
+}
+
+} // namespace prism

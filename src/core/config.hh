@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Machine configuration: topology, geometry and timing parameters.
+ *
+ * Defaults model the paper's simulated system (Section 4.1): 8 SMP
+ * nodes x 4 processors, 8 KB L1 / 32 KB L2 (deliberately small to
+ * expose capacity effects), a 16-byte split-transaction bus at half
+ * the processor clock, 120-cycle one-way network latency, a DRAM
+ * directory behind an 8K-entry cache (2/22 cycles) and an SRAM PIT
+ * (2 cycles).  Composite latencies these produce are calibrated
+ * against the paper's Table 1 by bench/table1_latency.
+ */
+
+#ifndef PRISM_CORE_CONFIG_HH
+#define PRISM_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace prism {
+
+/** Page-mode selection policy for shared pages at client nodes. */
+enum class PolicyKind : std::uint8_t {
+    Scoma,    //!< all client pages S-COMA, unbounded page cache
+    LaNuma,   //!< all client pages LA-NUMA (CC-NUMA behaviour)
+    Scoma70,  //!< S-COMA with page cache capped, LRU page-out
+    DynFcfs,  //!< S-COMA until cache full, then LA-NUMA for new pages
+    DynUtil,  //!< convert least-utilized S-COMA page to LA-NUMA
+    DynLru,   //!< page out LRU page and convert it to LA-NUMA
+    DynBoth,  //!< extension: Dyn-LRU + refetch-driven back-conversion
+};
+
+/** Human-readable policy name as used in the paper. */
+const char *policyName(PolicyKind k);
+
+/** Full machine configuration. */
+struct MachineConfig {
+    // --- Topology -------------------------------------------------
+    std::uint32_t numNodes = 8;
+    std::uint32_t procsPerNode = 4;
+
+    // --- Geometry -------------------------------------------------
+    std::uint32_t lineBytes = 64;
+
+    // --- Processor caches (small, per Section 4.2) -----------------
+    std::uint32_t l1Bytes = 8 * 1024;
+    std::uint32_t l1Assoc = 1;
+    std::uint32_t l2Bytes = 32 * 1024;
+    std::uint32_t l2Assoc = 4;
+
+    // --- TLB --------------------------------------------------------
+    std::uint32_t tlbEntries = 128;
+    Cycles tlbRefill = 30; //!< page-table walk on a TLB miss (Table 1)
+
+    // --- Core timing ------------------------------------------------
+    Cycles l2HitLatency = 12;   //!< L1 miss, L2 hit (Table 1)
+    Cycles l2MissDetect = 6;    //!< L2 tag check before going to the bus
+    Cycles busAddrCycles = 4;   //!< address tenure
+    Cycles busDataCycles = 8;   //!< 64B line on a 16B-wide half-speed bus
+    Cycles memAccessCycles = 18; //!< DRAM line access
+    Cycles cacheToCache = 14;   //!< intra-node dirty-line supply
+
+    // --- Coherence controller ----------------------------------------
+    Cycles ctrlOverhead = 85;    //!< protocol dispatch + FSM per message
+    Cycles pitLatency = 2;       //!< SRAM PIT lookup (10 = DRAM study)
+    Cycles pitHashExtra = 18;    //!< reverse translation via hash search
+    Cycles dirCacheHit = 2;
+    Cycles dirCacheMiss = 22;
+    std::uint32_t dirCacheEntries = 8192;
+    Cycles retryDelay = 20;      //!< bus retry backoff for Transit lines
+
+    // --- Network ------------------------------------------------------
+    Cycles netLatency = 120;        //!< one-way end-to-end
+    Cycles netCtrlOccupancy = 8;    //!< NIC occupancy per control msg
+    Cycles netDataOccupancy = 16;   //!< NIC occupancy per line-data msg
+    Cycles netPageOccupancy = 128;  //!< NIC occupancy per page-data msg
+
+    // --- Paging (calibrated to Table 1's 2300 / 4400 cycles) -----------
+    Cycles faultKernelCycles = 2200;   //!< local kernel fault handling
+    Cycles pitCommandCycles = 50;      //!< command-mode PIT programming
+    Cycles homePageInService = 1300;   //!< home-kernel page-in service
+    Cycles pageOutKernelCycles = 1500; //!< kernel page-out handling
+    Cycles tlbShootdownCycles = 40;    //!< per-processor local shootdown
+    Cycles diskLatency = 200000;       //!< backing-store transfer
+
+    // --- Memory management ----------------------------------------------
+    PolicyKind policy = PolicyKind::Scoma;
+    /**
+     * Per-node cap on client S-COMA frames; 0 = unlimited.  For the
+     * SCOMA-70 and Dyn-* configurations the experiment runner sets
+     * this per node from a calibration SCOMA run (Section 4.2).
+     */
+    std::uint64_t clientFrameCap = 0;
+    /** Optional per-node caps (overrides clientFrameCap when nonempty). */
+    std::vector<std::uint64_t> clientFrameCapPerNode;
+    /** Extension: map client pages CC-NUMA style, bypassing the PIT. */
+    bool ccNumaBypass = false;
+    /**
+     * Section 4.3 design option: cache client frame numbers in the
+     * directory so invalidations carry a reverse-translation hint
+     * (avoids the PIT hash walk at clients, "albeit at the price of
+     * increased directory sizes").  Off in the paper's evaluated
+     * configuration.
+     */
+    bool dirClientFrameHints = false;
+
+    // --- Lazy page migration ----------------------------------------------
+    bool migrationEnabled = false;
+    /** Remote-access count that triggers a migration evaluation. */
+    std::uint64_t migrationThreshold = 64;
+
+    // --- Synchronization cost model ------------------------------------
+    Cycles lockAcquireCycles = 300;  //!< uncontended remote lock RT
+    Cycles lockHandoffCycles = 140;  //!< contended handoff
+    Cycles barrierCycles = 400;      //!< per-episode barrier overhead
+
+    // --- Simulation -----------------------------------------------------
+    std::uint32_t runAheadQuantum = 2000; //!< max local-time run-ahead
+    std::uint64_t seed = 12345;
+
+    std::uint32_t numProcs() const { return numNodes * procsPerNode; }
+};
+
+} // namespace prism
+
+#endif // PRISM_CORE_CONFIG_HH

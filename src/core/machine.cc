@@ -1,0 +1,170 @@
+#include "core/machine.hh"
+
+#include <string>
+
+namespace prism {
+
+Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
+{
+    prism_assert(cfg_.numNodes >= 1 && cfg_.numNodes <= 64,
+                 "node count must be in [1, 64]");
+    Network::Params np;
+    np.oneWayLatency = cfg_.netLatency;
+    np.controlOccupancy = cfg_.netCtrlOccupancy;
+    np.dataOccupancy = cfg_.netDataOccupancy;
+    np.pageOccupancy = cfg_.netPageOccupancy;
+    net_ = std::make_unique<Network>(eq_, cfg_.numNodes, np);
+
+    locks_ = std::make_unique<LockManager>(eq_, cfg_.lockAcquireCycles,
+                                           cfg_.lockHandoffCycles);
+    barriers_ = std::make_unique<BarrierManager>(eq_, cfg_.numProcs(),
+                                                 cfg_.barrierCycles);
+    policy_ = makePolicy(cfg_.policy);
+
+    auto static_home = [this](GPage gp) { return staticHomeOf(gp); };
+    auto sender = [this](Msg &&m) { route(std::move(m)); };
+
+    for (NodeId n = 0; n < cfg_.numNodes; ++n) {
+        nodes_.push_back(std::make_unique<Node>(n, cfg_, eq_, *this, ipc_,
+                                                static_home, sender));
+        nodes_.back()->kernel().setPolicy(policy_.get());
+    }
+
+    for (NodeId n = 0; n < cfg_.numNodes; ++n) {
+        const std::string prefix = "node" + std::to_string(n);
+        nodes_[n]->controller().registerStats(registry_, prefix + ".ctrl");
+        nodes_[n]->kernel().registerStats(registry_, prefix + ".kernel");
+    }
+}
+
+Machine::~Machine() = default;
+
+void
+Machine::route(Msg &&m)
+{
+    prism_assert(m.dst < nodes_.size(), "message to unknown node");
+    auto boxed = std::make_shared<Msg>(std::move(m));
+    net_->send(boxed->src, boxed->dst, boxed->sizeClass(),
+               [this, boxed] { nodes_[boxed->dst]->receive(*boxed); });
+}
+
+std::uint64_t
+Machine::shmget(std::uint64_t key, std::uint64_t bytes)
+{
+    return ipc_.shmget(key, bytes);
+}
+
+void
+Machine::shmatAll(std::uint64_t vsid, std::uint64_t gsid)
+{
+    for (auto &n : nodes_)
+        n->kernel().bindSegment(vsid, gsid);
+}
+
+void
+Machine::run(const std::function<CoTask(Proc &)> &make)
+{
+    const std::uint32_t n = numProcs();
+    std::vector<CoTask> tasks;
+    tasks.reserve(n);
+    for (ProcId p = 0; p < n; ++p)
+        tasks.push_back(make(proc(p)));
+
+    std::uint32_t done = 0;
+    for (auto &t : tasks) {
+        t.start([this, &done] {
+            ++done;
+            lastProcDone_ = eq_.now();
+        });
+    }
+    const bool finished =
+        eq_.runWhile([&done, n] { return done == n; });
+    prism_assert(finished,
+                 "event queue drained with %u of %u programs unfinished",
+                 n - done, n);
+    drain();
+}
+
+void
+Machine::drain()
+{
+    eq_.runAll();
+}
+
+Machine::Snapshot
+Machine::snapshot() const
+{
+    Snapshot s;
+    for (const auto &n : nodes_) {
+        const ControllerStats &cs = n->controller().stats();
+        s.remoteMisses += cs.remoteMisses;
+        s.upgrades += cs.upgrades;
+        s.invalidations += cs.invalsSent;
+        const KernelStats &ks = n->kernel().stats();
+        s.clientPageOuts += ks.clientPageOuts;
+        s.pageFaults += ks.faults;
+    }
+    s.networkMessages = net_->messages();
+    return s;
+}
+
+void
+Machine::markParallelBegin()
+{
+    prism_assert(!parallelBeginSet_, "parallel phase begun twice");
+    parallelBeginSet_ = true;
+    parallelBegin_ = eq_.now();
+    beginSnap_ = snapshot();
+}
+
+void
+Machine::markParallelEnd()
+{
+    prism_assert(!parallelEndSet_, "parallel phase ended twice");
+    parallelEndSet_ = true;
+    parallelEnd_ = eq_.now();
+    endSnap_ = snapshot();
+}
+
+RunMetrics
+Machine::metrics() const
+{
+    RunMetrics m;
+    const Tick begin = parallelBeginSet_ ? parallelBegin_ : 0;
+    const Tick end = parallelEndSet_ ? parallelEnd_ : lastProcDone_;
+    const Snapshot &b = beginSnap_;
+    const Snapshot e = parallelEndSet_ ? endSnap_ : snapshot();
+
+    m.execCycles = end > begin ? end - begin : 0;
+    m.totalCycles = eq_.now();
+    m.remoteMisses = e.remoteMisses - b.remoteMisses;
+    m.clientPageOuts = e.clientPageOuts - b.clientPageOuts;
+    m.upgrades = e.upgrades - b.upgrades;
+    m.invalidations = e.invalidations - b.invalidations;
+    m.networkMessages = e.networkMessages - b.networkMessages;
+    m.pageFaults = e.pageFaults - b.pageFaults;
+
+    std::uint64_t util_frames = 0;
+    double util_weighted = 0.0;
+    for (const auto &n : nodes_) {
+        const Kernel &k = const_cast<Node &>(*n).kernel();
+        m.framesAllocated += k.realFramesPeak();
+        m.clientScomaPeakPerNode.push_back(k.clientScomaPeak());
+        const std::uint64_t f = k.realFramesCumulative();
+        util_frames += f;
+        util_weighted += k.averageUtilization() * static_cast<double>(f);
+        m.migrations += n->controller().stats().migrationsOut;
+        m.forwards += n->controller().stats().forwards;
+        for (std::uint32_t p = 0; p < n->numProcs(); ++p) {
+            const ProcStats &ps =
+                const_cast<Node &>(*n).proc(p).stats();
+            m.references += ps.loads + ps.stores;
+        }
+    }
+    m.avgUtilization =
+        util_frames ? util_weighted / static_cast<double>(util_frames)
+                    : 0.0;
+    return m;
+}
+
+} // namespace prism

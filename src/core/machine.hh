@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The PRISM machine: nodes, interconnect, global IPC, synchronization
+ * managers, and the run loop.
+ *
+ * This is the library's main entry point: construct a Machine from a
+ * MachineConfig, create and attach global segments, hand each
+ * processor a program coroutine, and run() to completion.
+ */
+
+#ifndef PRISM_CORE_MACHINE_HH
+#define PRISM_CORE_MACHINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/metrics.hh"
+#include "core/node.hh"
+#include "core/sync.hh"
+#include "net/network.hh"
+#include "os/ipc_server.hh"
+#include "policy/page_policy.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace prism {
+
+/** The whole simulated multiprocessor. */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &cfg);
+    ~Machine();
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    const MachineConfig &config() const { return cfg_; }
+    EventQueue &eventQueue() { return eq_; }
+    Network &network() { return *net_; }
+    IpcServer &ipc() { return ipc_; }
+    LockManager &locks() { return *locks_; }
+    BarrierManager &barriers() { return *barriers_; }
+    StatRegistry &statRegistry() { return registry_; }
+
+    Node &node(NodeId n) { return *nodes_[n]; }
+    std::uint32_t numNodes() const
+    {
+        return static_cast<std::uint32_t>(nodes_.size());
+    }
+
+    /** Processor by global id (node-major numbering). */
+    Proc &
+    proc(ProcId p)
+    {
+        return nodes_[p / cfg_.procsPerNode]->proc(p % cfg_.procsPerNode);
+    }
+
+    std::uint32_t numProcs() const { return cfg_.numProcs(); }
+
+    /** Static home of a global page: round-robin across nodes. */
+    NodeId
+    staticHomeOf(GPage gp) const
+    {
+        return static_cast<NodeId>(gp % cfg_.numNodes);
+    }
+
+    // --- Global shared memory setup ---------------------------------------
+
+    /** Globalized shmget: allocate/look up a segment. */
+    std::uint64_t shmget(std::uint64_t key, std::uint64_t bytes);
+
+    /**
+     * Globalized shmat on every node: bind virtual segment @p vsid to
+     * global segment @p gsid at identical virtual addresses (the
+     * loader behaviour described in Section 3.3).
+     */
+    void shmatAll(std::uint64_t vsid, std::uint64_t gsid);
+
+    // --- Running programs ------------------------------------------------
+
+    /**
+     * Run one program coroutine per processor to completion.
+     * @p make is called once per processor to create its program.
+     */
+    void run(const std::function<CoTask(Proc &)> &make);
+
+    /** Drain all residual simulation activity (writebacks etc.). */
+    void drain();
+
+    // --- Parallel-phase measurement ------------------------------------
+
+    /** Called by the program when the measured phase starts. */
+    void markParallelBegin();
+
+    /** Called by the program when the measured phase ends. */
+    void markParallelEnd();
+
+    Tick parallelBeginTick() const { return parallelBegin_; }
+
+    /** Aggregate run metrics (see RunMetrics). */
+    RunMetrics metrics() const;
+
+    /** Route a protocol message through the network. */
+    void route(Msg &&m);
+
+  private:
+    struct Snapshot {
+        std::uint64_t remoteMisses = 0;
+        std::uint64_t clientPageOuts = 0;
+        std::uint64_t upgrades = 0;
+        std::uint64_t invalidations = 0;
+        std::uint64_t networkMessages = 0;
+        std::uint64_t pageFaults = 0;
+    };
+
+    Snapshot snapshot() const;
+
+    MachineConfig cfg_;
+    EventQueue eq_;
+    std::unique_ptr<Network> net_;
+    IpcServer ipc_;
+    std::unique_ptr<LockManager> locks_;
+    std::unique_ptr<BarrierManager> barriers_;
+    std::unique_ptr<PagePolicy> policy_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    StatRegistry registry_;
+
+    Tick parallelBegin_ = 0;
+    Tick parallelEnd_ = 0;
+    bool parallelBeginSet_ = false;
+    bool parallelEndSet_ = false;
+    Snapshot beginSnap_;
+    Snapshot endSnap_;
+    Tick lastProcDone_ = 0;
+};
+
+} // namespace prism
+
+#endif // PRISM_CORE_MACHINE_HH

@@ -1,0 +1,269 @@
+#include "core/node.hh"
+
+#include "core/machine.hh"
+
+namespace prism {
+
+Node::Node(NodeId id, const MachineConfig &cfg, EventQueue &eq,
+           Machine &machine, IpcServer &ipc,
+           std::function<NodeId(GPage)> static_home_of,
+           std::function<void(Msg &&)> send)
+    : id_(id), cfg_(cfg), eq_(eq), geo_(cfg.lineBytes),
+      bus_(cfg.busAddrCycles, cfg.busDataCycles),
+      dram_(cfg.memAccessCycles)
+{
+    kernel_ = std::make_unique<Kernel>(id, cfg, eq, ipc, static_home_of,
+                                       send);
+    ctrl_ = std::make_unique<CoherenceController>(
+        id, cfg, eq, dram_, *this, static_home_of, std::move(send));
+    kernel_->attachController(ctrl_.get());
+
+    for (std::uint32_t i = 0; i < cfg.procsPerNode; ++i) {
+        ProcId pid = id * cfg.procsPerNode + i;
+        procs_.push_back(
+            std::make_unique<Proc>(pid, *this, machine, cfg, eq));
+    }
+
+    kernel_->setTlbShootdown([this](VPage vp) {
+        for (auto &p : procs_)
+            p->shootdown(vp);
+    });
+    kernel_->setCacheFlush([this](FrameNum f) {
+        for (auto &p : procs_)
+            p->invalidateFrame(f);
+    });
+}
+
+DelayAwaiter
+Node::until(Tick t)
+{
+    return DelayAwaiter(eq_, t > eq_.now() ? t - eq_.now() : 0);
+}
+
+void
+Node::receive(Msg m)
+{
+    if (isKernelMsg(m.type))
+        kernel_->receive(std::move(m));
+    else
+        ctrl_->onMessage(std::move(m));
+}
+
+CoTask
+Node::memAccess(Proc &requester, FrameNum frame, std::uint32_t line_idx,
+                bool write, bool requester_had_shared)
+{
+    const std::uint64_t line_paddr =
+        (frame << kPageShift) |
+        (static_cast<std::uint64_t>(line_idx) << geo_.lineShift());
+
+    // One node-level transaction per line at a time (bus retry).
+    while (busPending_.count(line_paddr))
+        co_await delay(cfg_.retryDelay);
+    busPending_.insert(line_paddr);
+    struct PendingGuard {
+        std::unordered_set<std::uint64_t> &set;
+        std::uint64_t key;
+        ~PendingGuard() { set.erase(key); }
+    } guard{busPending_, line_paddr};
+
+    for (;;) {
+        // Address tenure on the split-transaction bus.
+        co_await until(bus_.addressPhase(eq_.now()));
+
+        // Snoop peer caches.
+        Proc *peer_owner = nullptr; // peer holding M or E
+        bool peer_dirty = false;
+        bool peer_shared = false;
+        for (auto &pp : procs_) {
+            if (pp.get() == &requester)
+                continue;
+            Mesi s = pp->snoopLine(line_paddr, false, false);
+            if (s == Mesi::Modified || s == Mesi::Exclusive) {
+                peer_owner = pp.get();
+                peer_dirty = (s == Mesi::Modified);
+                break;
+            }
+            if (s == Mesi::Shared)
+                peer_shared = true;
+        }
+
+        // NOTE on ordering: every fill below charges the bus data
+        // phase FIRST and then revalidates (fine-grain tag, fill
+        // token, or peer re-snoop) immediately before fillLine with
+        // no suspension in between, so a racing invalidation or
+        // intervention can never slip between validation and fill.
+        if (write) {
+            if (peer_owner) {
+                // Cache-to-cache transfer with invalidation; the node
+                // already has exclusivity at the inter-node level.
+                co_await delay(cfg_.cacheToCache);
+                co_await until(bus_.dataPhase(eq_.now()));
+                Mesi cur = peer_owner->snoopLine(line_paddr, true, false);
+                if (cur != Mesi::Modified && cur != Mesi::Exclusive) {
+                    // The copy vanished or was downgraded by a racing
+                    // remote intervention: node exclusivity is gone.
+                    co_await delay(cfg_.retryDelay);
+                    continue;
+                }
+                requester.fillLine(line_paddr, Mesi::Modified);
+                co_return;
+            }
+            const bool local_copy = requester_had_shared || peer_shared;
+            MissResult res;
+            co_await ctrl_->serviceMiss(frame, line_idx, true, local_copy,
+                                        &res);
+            if (res.source == MissSource::BadFrame)
+                co_return; // caller re-translates and re-faults
+            if (res.source == MissSource::Retry) {
+                co_await delay(cfg_.retryDelay);
+                continue;
+            }
+            co_await until(bus_.dataPhase(eq_.now()));
+            if (!ctrl_->finishFill(frame, line_idx, Mesi::Modified)) {
+                co_await delay(cfg_.retryDelay);
+                continue;
+            }
+            // Invalidate peer S copies under the local bus protocol.
+            for (auto &pp : procs_) {
+                if (pp.get() != &requester)
+                    pp->snoopLine(line_paddr, true, false);
+            }
+            requester.fillLine(line_paddr, Mesi::Modified);
+            co_return;
+        }
+
+        // Read path.
+        if (peer_owner) {
+            co_await delay(cfg_.cacheToCache);
+            co_await until(bus_.dataPhase(eq_.now()));
+            Mesi cur = peer_owner->snoopLine(line_paddr, false, true);
+            if (cur == Mesi::Invalid) {
+                co_await delay(cfg_.retryDelay);
+                continue;
+            }
+            // Relinquish node ownership / reflect dirty data.
+            ctrl_->reflectDowngrade(frame, line_idx,
+                                    cur == Mesi::Modified || peer_dirty);
+            requester.fillLine(line_paddr, Mesi::Shared);
+            co_return;
+        }
+        if (peer_shared) {
+            // A valid node-level copy exists; supply locally, unless a
+            // racing invalidation removed every copy meanwhile.
+            co_await delay(cfg_.cacheToCache);
+            co_await until(bus_.dataPhase(eq_.now()));
+            bool still_valid = false;
+            for (auto &pp : procs_) {
+                if (pp.get() != &requester &&
+                    pp->snoopLine(line_paddr, false, false) !=
+                        Mesi::Invalid) {
+                    still_valid = true;
+                    break;
+                }
+            }
+            if (!still_valid) {
+                co_await delay(cfg_.retryDelay);
+                continue;
+            }
+            requester.fillLine(line_paddr, Mesi::Shared);
+            co_return;
+        }
+        MissResult res;
+        co_await ctrl_->serviceMiss(frame, line_idx, false, false, &res);
+        if (res.source == MissSource::BadFrame)
+            co_return; // caller re-translates and re-faults
+        if (res.source == MissSource::Retry) {
+            co_await delay(cfg_.retryDelay);
+            continue;
+        }
+        const Mesi grant =
+            res.exclusive ? Mesi::Exclusive : Mesi::Shared;
+        co_await until(bus_.dataPhase(eq_.now()));
+        if (!ctrl_->finishFill(frame, line_idx, grant)) {
+            co_await delay(cfg_.retryDelay);
+            continue;
+        }
+        requester.fillLine(line_paddr, grant);
+        co_return;
+    }
+}
+
+InterventionResult
+Node::intervene(FrameNum frame, std::uint32_t line_idx, bool invalidate,
+                Tick at)
+{
+    const std::uint64_t line_paddr =
+        (frame << kPageShift) |
+        (static_cast<std::uint64_t>(line_idx) << geo_.lineShift());
+    bool found = false;
+    bool dirty = false;
+    bool exclusive = false;
+    for (auto &p : procs_) {
+        Mesi s = p->snoopLine(line_paddr, invalidate, !invalidate);
+        if (s == Mesi::Invalid)
+            continue;
+        found = true;
+        if (s == Mesi::Modified)
+            dirty = true;
+        if (s == Mesi::Modified || s == Mesi::Exclusive)
+            exclusive = true;
+    }
+    Tick done = bus_.addressPhase(at);
+    if (dirty)
+        done = bus_.dataPhase(done);
+    return InterventionResult{done, found, dirty, exclusive};
+}
+
+bool
+Node::anyBusPending(FrameNum frame) const
+{
+    for (std::uint64_t lp : busPending_) {
+        if ((lp >> kPageShift) == frame)
+            return true;
+    }
+    return false;
+}
+
+bool
+Node::anyCachedCopy(FrameNum frame) const
+{
+    for (const auto &p : procs_) {
+        Proc &proc = *p; // cache accessors are non-const
+        if (proc.l2().anyInFrame(frame) || proc.l1().anyInFrame(frame))
+            return true;
+    }
+    return false;
+}
+
+FrameNum
+Node::migrationAllocFrame(GPage gp)
+{
+    return kernel_->migrationAllocFrame(gp);
+}
+
+void
+Node::migrationFreeFrame(FrameNum frame, GPage gp)
+{
+    kernel_->migrationFreeFrame(frame, gp);
+}
+
+std::uint64_t
+Node::homeKernelClients(GPage gp)
+{
+    return kernel_->homeClients(gp);
+}
+
+void
+Node::homeKernelAdopt(GPage gp, std::uint64_t clients)
+{
+    kernel_->adoptHomePage(gp, clients);
+}
+
+void
+Node::homeKernelDepart(GPage gp)
+{
+    kernel_->departHomePage(gp);
+}
+
+} // namespace prism

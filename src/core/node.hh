@@ -1,0 +1,107 @@
+/**
+ * @file
+ * One PRISM compute node: four processors, a split-transaction memory
+ * bus, local memory, an independent OS kernel, and the coherence
+ * controller sitting between the bus and the network interface.
+ *
+ * Node implements the intra-node MESI snooping protocol (peer caches
+ * supply and downgrade/invalidate each other over the bus) and is the
+ * ControllerHost through which the coherence controller intervenes in
+ * processor caches and cooperates with the kernel for migration.
+ */
+
+#ifndef PRISM_CORE_NODE_HH
+#define PRISM_CORE_NODE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "coherence/controller.hh"
+#include "core/config.hh"
+#include "core/proc.hh"
+#include "mem/bus.hh"
+#include "mem/dram.hh"
+#include "os/kernel.hh"
+#include "sim/event_queue.hh"
+#include "sim/task.hh"
+
+namespace prism {
+
+class Machine;
+
+/** One compute node. */
+class Node : public ControllerHost
+{
+  public:
+    Node(NodeId id, const MachineConfig &cfg, EventQueue &eq,
+         Machine &machine, IpcServer &ipc,
+         std::function<NodeId(GPage)> static_home_of,
+         std::function<void(Msg &&)> send);
+
+    NodeId id() const { return id_; }
+    Kernel &kernel() { return *kernel_; }
+    CoherenceController &controller() { return *ctrl_; }
+    MemoryBus &bus() { return bus_; }
+    Dram &dram() { return dram_; }
+    Proc &proc(std::uint32_t i) { return *procs_[i]; }
+    std::uint32_t numProcs() const
+    {
+        return static_cast<std::uint32_t>(procs_.size());
+    }
+
+    /** Deliver a network message to this node. */
+    void receive(Msg m);
+
+    /**
+     * Service an access that missed in @p requester's caches (or
+     * needs an upgrade).  Arbitrates the bus, snoops peer caches,
+     * consults the coherence controller as needed, and fills the
+     * requester's caches before returning.
+     *
+     * @param requester_had_shared  the requester holds an S copy
+     *        (write-upgrade case)
+     */
+    CoTask memAccess(Proc &requester, FrameNum frame,
+                     std::uint32_t line_idx, bool write,
+                     bool requester_had_shared);
+
+    // --- ControllerHost ---------------------------------------------------
+
+    InterventionResult intervene(FrameNum frame, std::uint32_t line_idx,
+                                 bool invalidate, Tick at) override;
+    bool anyBusPending(FrameNum frame) const override;
+    bool anyCachedCopy(FrameNum frame) const override;
+    FrameNum migrationAllocFrame(GPage gp) override;
+    void migrationFreeFrame(FrameNum frame, GPage gp) override;
+    std::uint64_t homeKernelClients(GPage gp) override;
+    void homeKernelAdopt(GPage gp, std::uint64_t clients) override;
+    void homeKernelDepart(GPage gp) override;
+
+  private:
+    DelayAwaiter delay(Cycles c) { return DelayAwaiter(eq_, c); }
+    DelayAwaiter until(Tick t);
+
+    NodeId id_;
+    const MachineConfig &cfg_;
+    EventQueue &eq_;
+    LineGeometry geo_;
+    MemoryBus bus_;
+    Dram dram_;
+    std::unique_ptr<Kernel> kernel_;
+    std::unique_ptr<CoherenceController> ctrl_;
+    std::vector<std::unique_ptr<Proc>> procs_;
+
+    /**
+     * Bus-level MSHR: lines with an outstanding node transaction,
+     * from address phase through fill.  A second miss to the same
+     * line is retried (split-transaction bus retry semantics), which
+     * keeps miss handling atomic with respect to local snoops.
+     */
+    std::unordered_set<std::uint64_t> busPending_;
+};
+
+} // namespace prism
+
+#endif // PRISM_CORE_NODE_HH

@@ -1,0 +1,256 @@
+#include "core/proc.hh"
+
+#include "core/machine.hh"
+#include "core/node.hh"
+
+namespace prism {
+
+Proc::Proc(ProcId id, Node &node, Machine &machine,
+           const MachineConfig &cfg, EventQueue &eq)
+    : id_(id), node_(node), machine_(machine), cfg_(cfg), eq_(eq),
+      geo_(cfg.lineBytes),
+      l1_(cfg.l1Bytes, cfg.l1Assoc, cfg.lineBytes),
+      l2_(cfg.l2Bytes, cfg.l2Assoc, cfg.lineBytes),
+      tlb_(cfg.tlbEntries)
+{
+}
+
+CoTask
+Proc::flushTime()
+{
+    if (pendingCycles_) {
+        Cycles c = pendingCycles_;
+        pendingCycles_ = 0;
+        co_await DelayAwaiter(eq_, c);
+    }
+}
+
+bool
+Proc::tryFastAccess(VAddr va, bool write)
+{
+    if (write)
+        ++stats_.stores;
+    else
+        ++stats_.loads;
+    pendingCycles_ += 1; // issue
+    if (pendingCycles_ >= cfg_.runAheadQuantum)
+        return false; // bound local-clock skew; yield via the slow path
+    return fastCore(va, write);
+}
+
+bool
+Proc::fastCore(VAddr va, bool write)
+{
+    // Translate.
+    const VPage vp = va.page();
+    FrameNum frame;
+    if (vp == lastVPage_) {
+        frame = lastFrame_;
+    } else {
+        frame = tlb_.lookup(vp);
+        if (frame == kInvalidFrame) {
+            const Pte *pte = node_.kernel().pageTable().lookup(vp);
+            if (!pte)
+                return false; // page fault
+            pendingCycles_ += cfg_.tlbRefill;
+            ++stats_.tlbRefills;
+            tlb_.insert(vp, pte->frame);
+            frame = pte->frame;
+        }
+        lastVPage_ = vp;
+        lastFrame_ = frame;
+    }
+    const std::uint64_t paddr = (frame << kPageShift) | va.offset();
+
+    // L1.
+    const Mesi s1 = l1_.lookup(paddr);
+    if (s1 != Mesi::Invalid) {
+        if (!write || s1 == Mesi::Modified) {
+            l1_.touch(paddr);
+            ++stats_.l1Hits;
+            return true;
+        }
+        if (s1 == Mesi::Exclusive) {
+            l1_.setState(paddr, Mesi::Modified);
+            ++stats_.l1Hits;
+            return true;
+        }
+        return false; // write to Shared: needs an upgrade
+    }
+
+    // L2.
+    const Mesi s2 = l2_.lookup(paddr);
+    if (s2 == Mesi::Invalid)
+        return false;
+    if (!write) {
+        pendingCycles_ += cfg_.l2HitLatency - 1;
+        ++stats_.l2Hits;
+        l2_.touch(paddr);
+        insertL1(paddr, s2);
+        return true;
+    }
+    if (s2 == Mesi::Modified || s2 == Mesi::Exclusive) {
+        pendingCycles_ += cfg_.l2HitLatency - 1;
+        ++stats_.l2Hits;
+        l2_.setState(paddr, Mesi::Modified);
+        insertL1(paddr, Mesi::Modified);
+        return true;
+    }
+    return false; // Shared + write
+}
+
+void
+Proc::insertL1(std::uint64_t line_paddr, Mesi state)
+{
+    auto victim = l1_.insert(line_paddr, state);
+    if (victim && victim->state == Mesi::Modified) {
+        // Fold the dirty L1 victim into the (inclusive) L2 copy.
+        if (l2_.contains(victim->lineAddr)) {
+            l2_.setState(victim->lineAddr, Mesi::Modified);
+        } else {
+            node_.controller().evictLine(
+                victim->lineAddr >> kPageShift,
+                geo_.lineIndex(victim->lineAddr), Mesi::Modified);
+        }
+    }
+}
+
+void
+Proc::fillLine(std::uint64_t line_paddr, Mesi state)
+{
+    auto victim = l2_.insert(line_paddr, state);
+    if (victim) {
+        // Inclusion: the L1 copy of the victim must go too.
+        Mesi s1 = l1_.invalidate(victim->lineAddr);
+        Mesi merged =
+            (s1 == Mesi::Modified) ? Mesi::Modified : victim->state;
+        node_.controller().evictLine(victim->lineAddr >> kPageShift,
+                                     geo_.lineIndex(victim->lineAddr),
+                                     merged);
+    }
+    insertL1(line_paddr, state);
+}
+
+FireAndForget
+Proc::slowAccess(VAddr va, bool write, std::coroutine_handle<> caller)
+{
+    co_await flushTime();
+    for (;;) {
+        if (fastCore(va, write))
+            break;
+        co_await flushTime();
+
+        // Translation present?
+        const VPage vp = va.page();
+        FrameNum frame = tlb_.lookup(vp);
+        if (frame == kInvalidFrame) {
+            const Pte *pte = node_.kernel().pageTable().lookup(vp);
+            if (!pte) {
+                ++stats_.pageFaults;
+                FrameNum f = kInvalidFrame;
+                co_await node_.kernel().handleFault(vp, &f);
+                tlb_.insert(vp, f);
+                lastVPage_ = vp;
+                lastFrame_ = f;
+                continue;
+            }
+            pendingCycles_ += cfg_.tlbRefill;
+            ++stats_.tlbRefills;
+            tlb_.insert(vp, pte->frame);
+            frame = pte->frame;
+            lastVPage_ = vp;
+            lastFrame_ = frame;
+            co_await flushTime();
+        }
+
+        const std::uint64_t paddr = (frame << kPageShift) | va.offset();
+        const std::uint32_t line_idx = geo_.lineIndex(paddr);
+        const bool had_shared = l1_.lookup(paddr) == Mesi::Shared ||
+                                l2_.lookup(paddr) == Mesi::Shared;
+        if (had_shared && write)
+            ++stats_.upgradesLocal;
+        else
+            ++stats_.l2Misses;
+        const Tick t0 = eq_.now();
+        co_await node_.memAccess(*this, frame, line_idx, write,
+                                 had_shared);
+        missLatency_.sample(eq_.now() - t0);
+        // Loop: the fill (or a racing invalidation) is re-checked.
+    }
+    caller.resume();
+}
+
+Mesi
+Proc::snoopLine(std::uint64_t line_paddr, bool invalidate, bool downgrade)
+{
+    const Mesi s1 = l1_.lookup(line_paddr);
+    const Mesi s2 = l2_.lookup(line_paddr);
+    Mesi merged = s1 > s2 ? s1 : s2; // I < S < E < M
+    if (merged == Mesi::Invalid)
+        return merged;
+    if (invalidate) {
+        l1_.invalidate(line_paddr);
+        l2_.invalidate(line_paddr);
+    } else if (downgrade &&
+               (merged == Mesi::Modified || merged == Mesi::Exclusive)) {
+        if (s1 != Mesi::Invalid)
+            l1_.setState(line_paddr, Mesi::Shared);
+        if (s2 != Mesi::Invalid)
+            l2_.setState(line_paddr, Mesi::Shared);
+    }
+    return merged;
+}
+
+void
+Proc::invalidateFrame(FrameNum frame)
+{
+    l1_.invalidateFrame(frame);
+    l2_.invalidateFrame(frame);
+    if (lastFrame_ == frame)
+        lastVPage_ = ~0ULL;
+}
+
+void
+Proc::shootdown(VPage vp)
+{
+    tlb_.invalidate(vp);
+    if (lastVPage_ == vp)
+        lastVPage_ = ~0ULL;
+}
+
+CoTask
+Proc::barrier(std::uint64_t id)
+{
+    co_await flushTime();
+    co_await machine_.barriers().arrive(id);
+}
+
+CoTask
+Proc::lock(std::uint64_t id)
+{
+    co_await flushTime();
+    co_await machine_.locks().acquire(id);
+}
+
+CoTask
+Proc::unlock(std::uint64_t id)
+{
+    co_await flushTime();
+    machine_.locks().release(id);
+}
+
+CoTask
+Proc::beginParallel()
+{
+    co_await flushTime();
+    machine_.markParallelBegin();
+}
+
+CoTask
+Proc::endParallel()
+{
+    co_await flushTime();
+    machine_.markParallelEnd();
+}
+
+} // namespace prism

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Processor model.
+ *
+ * Each simulated processor executes its workload program as a
+ * coroutine.  Non-memory work is charged with compute(); memory
+ * accesses take the fast path (TLB + L1/L2 tag checks, pure local
+ * accounting, no event-queue traffic) whenever they hit, and suspend
+ * into the node's bus/coherence machinery on misses, upgrades, TLB
+ * refills that fault, and synchronization.  A run-ahead quantum bounds
+ * how far a processor's local clock may drift ahead of simulated time
+ * between suspensions.
+ */
+
+#ifndef PRISM_CORE_PROC_HH
+#define PRISM_CORE_PROC_HH
+
+#include <coroutine>
+#include <cstdint>
+
+#include "core/config.hh"
+#include "mem/addr.hh"
+#include "mem/cache.hh"
+#include "mem/tlb.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/task.hh"
+
+namespace prism {
+
+class Node;
+class Machine;
+
+/** Per-processor statistics. */
+struct ProcStats {
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t upgradesLocal = 0; //!< S->M resolved on the node bus
+    std::uint64_t tlbRefills = 0;
+    std::uint64_t pageFaults = 0;
+    std::uint64_t computeCycles = 0;
+};
+
+/** One simulated processor. */
+class Proc
+{
+  public:
+    Proc(ProcId id, Node &node, Machine &machine,
+         const MachineConfig &cfg, EventQueue &eq);
+
+    ProcId id() const { return id_; }
+    Node &node() { return node_; }
+    const ProcStats &stats() const { return stats_; }
+
+    /** Distribution of miss-handling latencies (cycles). */
+    const Histogram &missLatency() const { return missLatency_; }
+    Tlb &tlb() { return tlb_; }
+    SetAssocCache &l1() { return l1_; }
+    SetAssocCache &l2() { return l2_; }
+
+    /** Local time not yet reflected in the global clock. */
+    Cycles pendingCycles() const { return pendingCycles_; }
+
+    // --- Program interface -----------------------------------------------
+
+    /** Charge @p cycles of non-memory computation. */
+    void
+    compute(Cycles cycles)
+    {
+        pendingCycles_ += cycles;
+        stats_.computeCycles += cycles;
+    }
+
+    /** Awaitable load from @p va. */
+    auto
+    read(VAddr va)
+    {
+        return AccessAwaiter{*this, va, false};
+    }
+
+    /** Awaitable store to @p va. */
+    auto
+    write(VAddr va)
+    {
+        return AccessAwaiter{*this, va, true};
+    }
+
+    /** Awaitable barrier arrival (all processors participate). */
+    CoTask barrier(std::uint64_t id);
+
+    /** Awaitable lock acquire. */
+    CoTask lock(std::uint64_t id);
+
+    /** Awaitable lock release (flushes local time first). */
+    CoTask unlock(std::uint64_t id);
+
+    /**
+     * Drain locally accumulated cycles into the global clock
+     * (measurement fence for latency microbenchmarks).
+     */
+    CoTask fence() { return flushTime(); }
+
+    /** Mark the start of the measured parallel phase (call once). */
+    CoTask beginParallel();
+
+    /** Mark the end of the measured parallel phase (call once). */
+    CoTask endParallel();
+
+    // --- Node-side hooks ---------------------------------------------------
+
+    /**
+     * Snoop this processor's caches for a line (bus intervention).
+     * @return the state held (merged over L1/L2) before the action.
+     */
+    Mesi snoopLine(std::uint64_t line_paddr, bool invalidate,
+                   bool downgrade);
+
+    /** Invalidate all cached lines of @p frame (page tear-down). */
+    void invalidateFrame(FrameNum frame);
+
+    /** Local TLB shootdown for one page (kernel paging). */
+    void shootdown(VPage vp);
+
+    /** Fill a line after a miss completes (handles victims). */
+    void fillLine(std::uint64_t line_paddr, Mesi state);
+
+  private:
+    struct AccessAwaiter {
+        Proc &p;
+        VAddr va;
+        bool write;
+
+        bool await_ready() const { return p.tryFastAccess(va, write); }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            p.slowAccess(va, write, h);
+        }
+
+        void await_resume() const {}
+    };
+
+    /**
+     * Attempt the access without suspending.
+     * @retval true if it completed (hit under current permissions).
+     */
+    bool tryFastAccess(VAddr va, bool write);
+
+    /** Cache/TLB attempt without stats or issue-cycle accounting. */
+    bool fastCore(VAddr va, bool write);
+
+    /** Insert into the L1, folding dirty victims into the L2. */
+    void insertL1(std::uint64_t line_paddr, Mesi state);
+
+    /** Slow path: flush pending time, fault/miss, fill, resume caller. */
+    FireAndForget slowAccess(VAddr va, bool write,
+                             std::coroutine_handle<> caller);
+
+    /** Flush pendingCycles_ into the global clock. */
+    CoTask flushTime();
+
+    ProcId id_;
+    Node &node_;
+    Machine &machine_;
+    const MachineConfig &cfg_;
+    EventQueue &eq_;
+    LineGeometry geo_;
+
+    SetAssocCache l1_;
+    SetAssocCache l2_;
+    Tlb tlb_;
+
+    // One-entry translation cache for consecutive same-page accesses.
+    VPage lastVPage_ = ~0ULL;
+    FrameNum lastFrame_ = kInvalidFrame;
+
+    Cycles pendingCycles_ = 0;
+    ProcStats stats_;
+    Histogram missLatency_{{25, 50, 100, 200, 400, 800, 1600, 3200}};
+};
+
+} // namespace prism
+
+#endif // PRISM_CORE_PROC_HH

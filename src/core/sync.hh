@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Synchronization cost models: locks and sense-reversing barriers.
+ *
+ * SPLASH synchronization runs through shared memory in reality; like
+ * other Augmint-class simulators we model lock and barrier episodes as
+ * simulator primitives that charge the latency of the equivalent
+ * remote round trips, preserving serialization behaviour and cost
+ * without simulating test-and-set reference streams (see DESIGN.md).
+ */
+
+#ifndef PRISM_CORE_SYNC_HH
+#define PRISM_CORE_SYNC_HH
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace prism {
+
+/** FIFO queued locks, keyed by an application-chosen id. */
+class LockManager
+{
+  public:
+    LockManager(EventQueue &eq, Cycles acquire_cost, Cycles handoff_cost)
+        : eq_(eq), acquireCost_(acquire_cost), handoffCost_(handoff_cost)
+    {
+    }
+
+    /** Awaitable acquire of lock @p id. */
+    auto
+    acquire(std::uint64_t id)
+    {
+        struct Awaiter {
+            LockManager &m;
+            std::uint64_t id;
+
+            bool await_ready() const { return false; }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                Lock &l = m.locks_[id];
+                if (!l.held) {
+                    l.held = true;
+                    ++m.acquires_;
+                    m.eq_.scheduleIn(m.acquireCost_, [h] { h.resume(); });
+                } else {
+                    ++m.contended_;
+                    l.waiters.push_back(h);
+                }
+            }
+
+            void await_resume() const {}
+        };
+        return Awaiter{*this, id};
+    }
+
+    /** Release lock @p id; the next waiter resumes after a handoff. */
+    void
+    release(std::uint64_t id)
+    {
+        auto it = locks_.find(id);
+        prism_assert(it != locks_.end() && it->second.held,
+                     "releasing an unheld lock");
+        Lock &l = it->second;
+        if (l.waiters.empty()) {
+            l.held = false;
+            return;
+        }
+        auto h = l.waiters.front();
+        l.waiters.pop_front();
+        ++acquires_;
+        eq_.scheduleIn(handoffCost_, [h] { h.resume(); });
+    }
+
+    std::uint64_t acquires() const { return acquires_; }
+    std::uint64_t contended() const { return contended_; }
+
+  private:
+    struct Lock {
+        bool held = false;
+        std::deque<std::coroutine_handle<>> waiters;
+    };
+
+    EventQueue &eq_;
+    Cycles acquireCost_;
+    Cycles handoffCost_;
+    std::unordered_map<std::uint64_t, Lock> locks_;
+    std::uint64_t acquires_ = 0;
+    std::uint64_t contended_ = 0;
+};
+
+/** All-processor barriers, keyed by id (episodes auto-advance). */
+class BarrierManager
+{
+  public:
+    BarrierManager(EventQueue &eq, std::uint32_t participants, Cycles cost)
+        : eq_(eq), participants_(participants), cost_(cost)
+    {
+    }
+
+    /** Awaitable arrival at barrier @p id. */
+    auto
+    arrive(std::uint64_t id)
+    {
+        struct Awaiter {
+            BarrierManager &m;
+            std::uint64_t id;
+
+            bool await_ready() const { return m.participants_ <= 1; }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                Bar &b = m.bars_[id];
+                b.waiters.push_back(h);
+                if (b.waiters.size() == m.participants_) {
+                    ++m.episodes_;
+                    auto ws = std::move(b.waiters);
+                    b.waiters.clear();
+                    for (auto w : ws)
+                        m.eq_.scheduleIn(m.cost_, [w] { w.resume(); });
+                }
+            }
+
+            void await_resume() const {}
+        };
+        return Awaiter{*this, id};
+    }
+
+    std::uint64_t episodes() const { return episodes_; }
+
+  private:
+    struct Bar {
+        std::vector<std::coroutine_handle<>> waiters;
+    };
+
+    EventQueue &eq_;
+    std::uint32_t participants_;
+    Cycles cost_;
+    std::unordered_map<std::uint64_t, Bar> bars_;
+    std::uint64_t episodes_ = 0;
+};
+
+} // namespace prism
+
+#endif // PRISM_CORE_SYNC_HH

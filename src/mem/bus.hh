@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Split-transaction, fully-pipelined memory bus model.
+ *
+ * The paper assumes a 16-byte-wide split-phase bus running at half the
+ * processor clock with separate address and data paths.  We model the
+ * two paths as independent FCFS resources: an address tenure books the
+ * address path, a data transfer books the data path.  Retries (for
+ * lines in Transit) are modeled by the requester re-arbitrating later.
+ */
+
+#ifndef PRISM_MEM_BUS_HH
+#define PRISM_MEM_BUS_HH
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace prism {
+
+/** One node's memory bus: address path + data path occupancies. */
+class MemoryBus
+{
+  public:
+    /**
+     * @param addr_cycles occupancy of one address tenure
+     * @param data_cycles occupancy of one full-line data transfer
+     */
+    MemoryBus(Cycles addr_cycles, Cycles data_cycles)
+        : addrCycles_(addr_cycles), dataCycles_(data_cycles)
+    {
+    }
+
+    /**
+     * Book an address tenure starting no earlier than @p at.
+     * @return completion time of the tenure.
+     */
+    Tick
+    addressPhase(Tick at)
+    {
+        ++addrTenures_;
+        return addrPath_.acquire(at, addrCycles_) + addrCycles_;
+    }
+
+    /**
+     * Book a full-line data transfer starting no earlier than @p at.
+     * @return completion time of the transfer.
+     */
+    Tick
+    dataPhase(Tick at)
+    {
+        ++dataTransfers_;
+        return dataPath_.acquire(at, dataCycles_) + dataCycles_;
+    }
+
+    Cycles addrCycles() const { return addrCycles_; }
+    Cycles dataCycles() const { return dataCycles_; }
+
+    std::uint64_t addrTenures() const { return addrTenures_; }
+    std::uint64_t dataTransfers() const { return dataTransfers_; }
+    Cycles addrBusyCycles() const { return addrPath_.busyCycles(); }
+    Cycles dataBusyCycles() const { return dataPath_.busyCycles(); }
+
+  private:
+    Cycles addrCycles_;
+    Cycles dataCycles_;
+    FcfsResource addrPath_;
+    FcfsResource dataPath_;
+    std::uint64_t addrTenures_ = 0;
+    std::uint64_t dataTransfers_ = 0;
+};
+
+} // namespace prism
+
+#endif // PRISM_MEM_BUS_HH

@@ -1,0 +1,202 @@
+#include "mem/cache.hh"
+
+namespace prism {
+
+const char *
+mesiName(Mesi s)
+{
+    switch (s) {
+      case Mesi::Invalid: return "I";
+      case Mesi::Shared: return "S";
+      case Mesi::Exclusive: return "E";
+      case Mesi::Modified: return "M";
+    }
+    return "?";
+}
+
+SetAssocCache::SetAssocCache(std::uint32_t size_bytes, std::uint32_t assoc,
+                             std::uint32_t line_bytes)
+    : assoc_(assoc), lineBytes_(line_bytes),
+      lineShift_(LineGeometry::log2i(line_bytes)),
+      numSets_(size_bytes / (assoc * line_bytes)),
+      lines_(static_cast<std::size_t>(numSets_) * assoc)
+{
+    prism_assert(numSets_ > 0, "cache with zero sets");
+    prism_assert((numSets_ & (numSets_ - 1)) == 0,
+                 "cache set count must be a power of two");
+}
+
+std::uint64_t
+SetAssocCache::lineAlign(std::uint64_t paddr) const
+{
+    return paddr & ~static_cast<std::uint64_t>(lineBytes_ - 1);
+}
+
+std::uint32_t
+SetAssocCache::setIndex(std::uint64_t line_addr) const
+{
+    return static_cast<std::uint32_t>((line_addr >> lineShift_) &
+                                      (numSets_ - 1));
+}
+
+SetAssocCache::Line *
+SetAssocCache::find(std::uint64_t paddr)
+{
+    const std::uint64_t la = lineAlign(paddr);
+    Line *set = &lines_[static_cast<std::size_t>(setIndex(la)) * assoc_];
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (set[w].state != Mesi::Invalid && set[w].addr == la)
+            return &set[w];
+    }
+    return nullptr;
+}
+
+const SetAssocCache::Line *
+SetAssocCache::find(std::uint64_t paddr) const
+{
+    return const_cast<SetAssocCache *>(this)->find(paddr);
+}
+
+Mesi
+SetAssocCache::lookup(std::uint64_t paddr) const
+{
+    const Line *l = find(paddr);
+    return l ? l->state : Mesi::Invalid;
+}
+
+void
+SetAssocCache::touch(std::uint64_t paddr)
+{
+    Line *l = find(paddr);
+    if (l)
+        l->lastUse = ++useClock_;
+}
+
+void
+SetAssocCache::setState(std::uint64_t paddr, Mesi s)
+{
+    Line *l = find(paddr);
+    prism_assert(l != nullptr, "setState on absent line");
+    if (s == Mesi::Invalid)
+        l->state = Mesi::Invalid;
+    else
+        l->state = s;
+}
+
+std::optional<Victim>
+SetAssocCache::insert(std::uint64_t paddr, Mesi s)
+{
+    prism_assert(s != Mesi::Invalid, "inserting an Invalid line");
+    const std::uint64_t la = lineAlign(paddr);
+    Line *set = &lines_[static_cast<std::size_t>(setIndex(la)) * assoc_];
+
+    // Overwrite an existing copy of the same line.
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (set[w].state != Mesi::Invalid && set[w].addr == la) {
+            set[w].state = s;
+            set[w].lastUse = ++useClock_;
+            return std::nullopt;
+        }
+    }
+
+    // Prefer an invalid way.
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (set[w].state == Mesi::Invalid) {
+            set[w] = Line{la, s, ++useClock_};
+            return std::nullopt;
+        }
+    }
+
+    // Evict the LRU way.
+    Line *victim = &set[0];
+    for (std::uint32_t w = 1; w < assoc_; ++w) {
+        if (set[w].lastUse < victim->lastUse)
+            victim = &set[w];
+    }
+    Victim out{victim->addr, victim->state};
+    *victim = Line{la, s, ++useClock_};
+    return out;
+}
+
+std::optional<Victim>
+SetAssocCache::peekVictim(std::uint64_t paddr) const
+{
+    const std::uint64_t la = lineAlign(paddr);
+    const Line *set = &lines_[static_cast<std::size_t>(setIndex(la)) * assoc_];
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (set[w].state != Mesi::Invalid && set[w].addr == la)
+            return std::nullopt;
+    }
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (set[w].state == Mesi::Invalid)
+            return std::nullopt;
+    }
+    const Line *victim = &set[0];
+    for (std::uint32_t w = 1; w < assoc_; ++w) {
+        if (set[w].lastUse < victim->lastUse)
+            victim = &set[w];
+    }
+    return Victim{victim->addr, victim->state};
+}
+
+Mesi
+SetAssocCache::invalidate(std::uint64_t paddr)
+{
+    Line *l = find(paddr);
+    if (!l)
+        return Mesi::Invalid;
+    Mesi s = l->state;
+    l->state = Mesi::Invalid;
+    return s;
+}
+
+std::vector<Victim>
+SetAssocCache::invalidateFrame(FrameNum frame)
+{
+    std::vector<Victim> out;
+    const std::uint64_t lo = frame << kPageShift;
+    const std::uint64_t hi = lo + kPageBytes;
+    for (auto &l : lines_) {
+        if (l.state != Mesi::Invalid && l.addr >= lo && l.addr < hi) {
+            out.push_back(Victim{l.addr, l.state});
+            l.state = Mesi::Invalid;
+        }
+    }
+    return out;
+}
+
+std::vector<std::pair<std::uint64_t, Mesi>>
+SetAssocCache::snapshot() const
+{
+    std::vector<std::pair<std::uint64_t, Mesi>> out;
+    for (const auto &l : lines_) {
+        if (l.state != Mesi::Invalid)
+            out.emplace_back(l.addr, l.state);
+    }
+    return out;
+}
+
+bool
+SetAssocCache::anyInFrame(FrameNum frame) const
+{
+    const std::uint64_t lo = frame << kPageShift;
+    const std::uint64_t hi = lo + kPageBytes;
+    for (const auto &l : lines_) {
+        if (l.state != Mesi::Invalid && l.addr >= lo && l.addr < hi)
+            return true;
+    }
+    return false;
+}
+
+std::uint32_t
+SetAssocCache::validLines() const
+{
+    std::uint32_t n = 0;
+    for (const auto &l : lines_) {
+        if (l.state != Mesi::Invalid)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace prism

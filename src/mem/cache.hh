@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Set-associative write-back cache model with MESI line states.
+ *
+ * Used for both the per-processor L1 and L2.  The model tracks tags and
+ * states only (no data contents are simulated); timing is charged by
+ * the callers.  Addresses are physical: PRISM nodes are physically
+ * indexed and tagged, and each node has its own private physical
+ * address space.
+ */
+
+#ifndef PRISM_MEM_CACHE_HH
+#define PRISM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace prism {
+
+/** Classic MESI line states. */
+enum class Mesi : std::uint8_t {
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/** Human-readable name of a MESI state. */
+const char *mesiName(Mesi s);
+
+/** Result of a cache insertion: the victim line, if one was evicted. */
+struct Victim {
+    std::uint64_t lineAddr; //!< physical address of the victim line
+    Mesi state;             //!< state the victim held
+};
+
+/**
+ * A set-associative cache of MESI tags with true-LRU replacement.
+ *
+ * Line addresses are physical byte addresses truncated to line
+ * granularity by the cache itself.
+ */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param size_bytes  total capacity
+     * @param assoc       associativity (1 = direct mapped)
+     * @param line_bytes  line size
+     */
+    SetAssocCache(std::uint32_t size_bytes, std::uint32_t assoc,
+                  std::uint32_t line_bytes);
+
+    /** State of the line containing @p paddr (Invalid if absent). */
+    Mesi lookup(std::uint64_t paddr) const;
+
+    /** True if the line is present in any valid state. */
+    bool contains(std::uint64_t paddr) const { return lookup(paddr) != Mesi::Invalid; }
+
+    /** Update LRU on an access to a present line. */
+    void touch(std::uint64_t paddr);
+
+    /**
+     * Set the state of a present line.
+     * panics if the line is absent (callers must check first).
+     */
+    void setState(std::uint64_t paddr, Mesi s);
+
+    /**
+     * Insert (or overwrite) the line containing @p paddr with state
+     * @p s, evicting the LRU way of the set if needed.
+     * @return the evicted victim, if any valid line was displaced.
+     */
+    std::optional<Victim> insert(std::uint64_t paddr, Mesi s);
+
+    /**
+     * Remove the line containing @p paddr.
+     * @return the state it held (Invalid if it was absent).
+     */
+    Mesi invalidate(std::uint64_t paddr);
+
+    /** Invalidate every line belonging to physical frame @p frame. */
+    std::vector<Victim> invalidateFrame(FrameNum frame);
+
+    /** Number of valid lines currently held. */
+    std::uint32_t validLines() const;
+
+    /** Snapshot of all valid (lineAddr, state) pairs (test support). */
+    std::vector<std::pair<std::uint64_t, Mesi>> snapshot() const;
+
+    /** True if any valid line belongs to physical frame @p frame. */
+    bool anyInFrame(FrameNum frame) const;
+
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t assoc() const { return assoc_; }
+    std::uint32_t lineBytes() const { return lineBytes_; }
+
+    /** Victim that insert() of @p paddr would evict, without evicting. */
+    std::optional<Victim> peekVictim(std::uint64_t paddr) const;
+
+  private:
+    struct Line {
+        std::uint64_t addr = 0; //!< line-aligned physical address
+        Mesi state = Mesi::Invalid;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t lineAlign(std::uint64_t paddr) const;
+    std::uint32_t setIndex(std::uint64_t line_addr) const;
+    Line *find(std::uint64_t paddr);
+    const Line *find(std::uint64_t paddr) const;
+
+    std::uint32_t assoc_;
+    std::uint32_t lineBytes_;
+    std::uint32_t lineShift_;
+    std::uint32_t numSets_;
+    std::vector<Line> lines_; //!< numSets_ x assoc_, row-major
+    std::uint64_t useClock_ = 0;
+};
+
+} // namespace prism
+
+#endif // PRISM_MEM_CACHE_HH

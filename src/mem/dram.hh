@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Node memory (DRAM) timing model.
+ *
+ * Models access latency plus FCFS bank contention.  On S-COMA nodes
+ * part of this memory is managed by the OS as the page cache for
+ * globally shared pages; the controller reads/writes lines of it when
+ * servicing misses and writebacks.
+ */
+
+#ifndef PRISM_MEM_DRAM_HH
+#define PRISM_MEM_DRAM_HH
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace prism {
+
+/** Simple DRAM with a fixed access latency and single-port contention. */
+class Dram
+{
+  public:
+    explicit Dram(Cycles access_cycles) : accessCycles_(access_cycles) {}
+
+    /**
+     * Book one line access (read or write) starting no earlier than @p at.
+     * @return the time the access completes.
+     */
+    Tick
+    access(Tick at)
+    {
+        ++accesses_;
+        return port_.acquire(at, accessCycles_) + accessCycles_;
+    }
+
+    Cycles accessCycles() const { return accessCycles_; }
+    std::uint64_t accesses() const { return accesses_; }
+    Cycles busyCycles() const { return port_.busyCycles(); }
+
+  private:
+    Cycles accessCycles_;
+    FcfsResource port_;
+    std::uint64_t accesses_ = 0;
+};
+
+} // namespace prism
+
+#endif // PRISM_MEM_DRAM_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-processor translation lookaside buffer.
+ *
+ * Maps virtual pages to node-private physical frames.  A PRISM TLB
+ * never holds translations for remote physical memory: LA-NUMA pages
+ * translate to imaginary local frames, so TLB shootdowns stay within
+ * one node (a key scalability property of the paper).
+ */
+
+#ifndef PRISM_MEM_TLB_HH
+#define PRISM_MEM_TLB_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/addr.hh"
+#include "sim/types.hh"
+
+namespace prism {
+
+/** Fully-associative LRU TLB model. */
+class Tlb
+{
+  public:
+    explicit Tlb(std::uint32_t entries) : capacity_(entries) {}
+
+    /**
+     * Look up @p vp.
+     * @return the frame, or kInvalidFrame on a TLB miss.
+     */
+    FrameNum
+    lookup(VPage vp)
+    {
+        auto it = map_.find(vp);
+        if (it == map_.end()) {
+            ++misses_;
+            return kInvalidFrame;
+        }
+        it->second.lastUse = ++clock_;
+        ++hits_;
+        return it->second.frame;
+    }
+
+    /** Install a translation (evicts LRU entry when full). */
+    void
+    insert(VPage vp, FrameNum frame)
+    {
+        if (map_.size() >= capacity_ && map_.find(vp) == map_.end()) {
+            auto lru = map_.begin();
+            for (auto it = map_.begin(); it != map_.end(); ++it) {
+                if (it->second.lastUse < lru->second.lastUse)
+                    lru = it;
+            }
+            map_.erase(lru);
+        }
+        map_[vp] = Entry{frame, ++clock_};
+    }
+
+    /** Remove the translation for @p vp if present (local shootdown). */
+    void invalidate(VPage vp) { map_.erase(vp); }
+
+    /** Drop everything (context switch / full shootdown). */
+    void flush() { map_.clear(); }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::size_t size() const { return map_.size(); }
+    std::uint32_t capacity() const { return capacity_; }
+
+  private:
+    struct Entry {
+        FrameNum frame;
+        std::uint64_t lastUse;
+    };
+
+    std::uint32_t capacity_;
+    std::unordered_map<VPage, Entry> map_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace prism
+
+#endif // PRISM_MEM_TLB_HH

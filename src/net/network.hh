@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Interconnection network and network-interface model.
+ *
+ * A point-to-point fabric with a fixed one-way end-to-end latency
+ * (120 processor cycles in the paper) plus per-NIC serialization:
+ * each node's egress and ingress ports are FCFS resources, so bursts
+ * queue.  Delivery is FIFO per (source, destination) pair, a property
+ * the coherence protocol relies on (e.g. a writeback racing a fetch
+ * nack from the same node).
+ */
+
+#ifndef PRISM_NET_NETWORK_HH
+#define PRISM_NET_NETWORK_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace prism {
+
+/** Size class of a network message, for occupancy accounting. */
+enum class MsgSize : std::uint8_t {
+    Control, //!< header-only protocol message
+    Data,    //!< carries one cache line
+    Page,    //!< carries page-level payload (page-in bulk transfers)
+};
+
+/** The interconnect shared by all nodes. */
+class Network
+{
+  public:
+    struct Params {
+        Cycles oneWayLatency = 120; //!< end-to-end wire+switch latency
+        Cycles controlOccupancy = 8;  //!< NIC occupancy, header message
+        Cycles dataOccupancy = 16;    //!< NIC occupancy, line-carrying
+        Cycles pageOccupancy = 128;   //!< NIC occupancy, page-carrying
+    };
+
+    Network(EventQueue &eq, std::uint32_t num_nodes, const Params &p)
+        : eq_(eq), params_(p), egress_(num_nodes), ingress_(num_nodes)
+    {
+    }
+
+    /**
+     * Send a message; @p deliver runs at the destination's receive
+     * time.  @p src == @p dst is legal (loopback, zero wire latency but
+     * still NIC occupancy) and used by home nodes messaging themselves
+     * through the uniform protocol path.
+     */
+    void
+    send(NodeId src, NodeId dst, MsgSize size, std::function<void()> deliver)
+    {
+        const Cycles occ = occupancy(size);
+        ++messages_;
+        bytesProxy_ += occ;
+        Tick out_done = egress_[src].acquire(eq_.now(), occ) + occ;
+        Tick wire = (src == dst) ? 0 : params_.oneWayLatency;
+        Tick in_start = ingress_[dst].acquire(out_done + wire, occ);
+        eq_.schedule(in_start + occ, std::move(deliver));
+    }
+
+    /** Latency a message of @p size would see with no contention. */
+    Cycles
+    uncontendedLatency(MsgSize size, bool loopback = false) const
+    {
+        return 2 * occupancy(size) + (loopback ? 0 : params_.oneWayLatency);
+    }
+
+    std::uint64_t messages() const { return messages_; }
+
+    /** Sum of NIC occupancies booked; proxy for bytes moved. */
+    std::uint64_t trafficProxy() const { return bytesProxy_; }
+
+    const Params &params() const { return params_; }
+
+  private:
+    Cycles
+    occupancy(MsgSize size) const
+    {
+        switch (size) {
+          case MsgSize::Control: return params_.controlOccupancy;
+          case MsgSize::Data: return params_.dataOccupancy;
+          case MsgSize::Page: return params_.pageOccupancy;
+        }
+        return params_.controlOccupancy;
+    }
+
+    EventQueue &eq_;
+    Params params_;
+    std::vector<FcfsResource> egress_;
+    std::vector<FcfsResource> ingress_;
+    std::uint64_t messages_ = 0;
+    std::uint64_t bytesProxy_ = 0;
+};
+
+} // namespace prism
+
+#endif // PRISM_NET_NETWORK_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Global IPC server: globalized System V shared memory (Section 3.4).
+ *
+ * Applications allocate global segments with shmget(key, size) and
+ * attach them with shmat.  The server hands out global segment ids
+ * (GSIDs) and tracks attach counts.  Segment creation and attachment
+ * are rare, coarse-grained operations — exactly the point of PRISM's
+ * user-controlled binding granularity — so their cost is charged as a
+ * fixed kernel/messaging overhead by the caller rather than simulated
+ * message-by-message.
+ */
+
+#ifndef PRISM_OS_IPC_SERVER_HH
+#define PRISM_OS_IPC_SERVER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace prism {
+
+/** Metadata of one global segment. */
+struct GlobalSegment {
+    std::uint64_t gsid = 0;
+    std::uint64_t key = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t pages = 0;
+    std::uint32_t attachCount = 0;
+};
+
+/** The system-wide IPC server (lives on node 0 conceptually). */
+class IpcServer
+{
+  public:
+    /**
+     * Allocate (or look up) the global segment for @p key.
+     * @return its GSID.
+     */
+    std::uint64_t
+    shmget(std::uint64_t key, std::uint64_t bytes)
+    {
+        auto it = byKey_.find(key);
+        if (it != byKey_.end()) {
+            GlobalSegment &s = segments_[it->second];
+            prism_assert(s.bytes >= bytes,
+                         "shmget size mismatch for existing key");
+            return s.gsid;
+        }
+        GlobalSegment s;
+        s.gsid = nextGsid_++;
+        s.key = key;
+        s.bytes = bytes;
+        s.pages = (bytes + kPageBytes - 1) / kPageBytes;
+        byKey_[key] = s.gsid;
+        segments_[s.gsid] = s;
+        return s.gsid;
+    }
+
+    /** Record an attach of @p gsid. */
+    void
+    shmatAttach(std::uint64_t gsid)
+    {
+        auto it = segments_.find(gsid);
+        prism_assert(it != segments_.end(), "shmat of unknown gsid");
+        ++it->second.attachCount;
+    }
+
+    const GlobalSegment *
+    segment(std::uint64_t gsid) const
+    {
+        auto it = segments_.find(gsid);
+        return it == segments_.end() ? nullptr : &it->second;
+    }
+
+    std::size_t numSegments() const { return segments_.size(); }
+
+  private:
+    std::uint64_t nextGsid_ = 1; // gsid 0 reserved
+    std::unordered_map<std::uint64_t, std::uint64_t> byKey_;
+    std::unordered_map<std::uint64_t, GlobalSegment> segments_;
+};
+
+} // namespace prism
+
+#endif // PRISM_OS_IPC_SERVER_HH

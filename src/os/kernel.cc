@@ -1,0 +1,727 @@
+#include "os/kernel.hh"
+
+#include <algorithm>
+
+#include "policy/page_policy.hh"
+#include "sim/stats.hh"
+
+namespace prism {
+
+Kernel::Kernel(NodeId self, const MachineConfig &cfg, EventQueue &eq,
+               IpcServer &ipc, std::function<NodeId(GPage)> static_home_of,
+               std::function<void(Msg &&)> send)
+    : self_(self), cfg_(cfg), eq_(eq), ipc_(ipc),
+      staticHomeOf_(std::move(static_home_of)), sendFn_(std::move(send))
+{
+}
+
+void
+Kernel::send(Msg &&m)
+{
+    m.src = self_;
+    sendFn_(std::move(m));
+}
+
+CoMutex &
+Kernel::globalLock(GPage gp)
+{
+    auto &p = gLocks_[gp];
+    if (!p)
+        p = std::make_unique<CoMutex>(eq_);
+    return *p;
+}
+
+CoMutex &
+Kernel::privateLock(VPage vp)
+{
+    auto &p = pLocks_[vp];
+    if (!p)
+        p = std::make_unique<CoMutex>(eq_);
+    return *p;
+}
+
+bool
+Kernel::pageBusy(GPage gp) const
+{
+    auto it = gLocks_.find(gp);
+    return it != gLocks_.end() && it->second->held();
+}
+
+// ---------------------------------------------------------------------
+// Global naming and binding
+// ---------------------------------------------------------------------
+
+void
+Kernel::bindSegment(std::uint64_t vsid, std::uint64_t gsid)
+{
+    prism_assert(ipc_.segment(gsid) != nullptr,
+                 "binding to a non-existent global segment");
+    vsidToGsid_[vsid] = gsid;
+    gsidToVsid_[gsid] = vsid;
+    ipc_.shmatAttach(gsid);
+}
+
+bool
+Kernel::globalPageOf(VPage vp, GPage *gp) const
+{
+    const std::uint64_t vsid = vp >> kPageNumBits;
+    auto it = vsidToGsid_.find(vsid);
+    if (it == vsidToGsid_.end())
+        return false;
+    const std::uint64_t pnum = vp & ((1ULL << kPageNumBits) - 1);
+    *gp = (it->second << kPageNumBits) | pnum;
+    return true;
+}
+
+VPage
+Kernel::vpageOf(GPage gp) const
+{
+    const std::uint64_t gsid = gp >> kPageNumBits;
+    auto it = gsidToVsid_.find(gsid);
+    prism_assert(it != gsidToVsid_.end(), "vpageOf on unbound segment");
+    const std::uint64_t pnum = gp & ((1ULL << kPageNumBits) - 1);
+    return (it->second << kPageNumBits) | pnum;
+}
+
+// ---------------------------------------------------------------------
+// Fault path
+// ---------------------------------------------------------------------
+
+CoTask
+Kernel::handleFault(VPage vp, FrameNum *out_frame)
+{
+    ++stats_.faults;
+    GPage gp = kInvalidGPage;
+    const bool global = globalPageOf(vp, &gp);
+
+    CoMutex &lk = global ? globalLock(gp) : privateLock(vp);
+    co_await lk.acquire();
+    // Another local processor may have completed the fault meanwhile.
+    if (const Pte *pte = pt_.lookup(vp)) {
+        *out_frame = pte->frame;
+        lk.release();
+        co_return;
+    }
+
+    co_await delay(cfg_.faultKernelCycles);
+
+    if (!global) {
+        FrameNum f = realPool_.alloc();
+        prism_assert(f != kInvalidFrame, "out of private frames");
+        ctrl_->installLocalMapping(f);
+        co_await delay(cfg_.pitCommandCycles);
+        pt_.map(vp, f, PageMode::Local);
+        *out_frame = f;
+        ++stats_.faultsPrivate;
+        lk.release();
+        co_return;
+    }
+
+    // Am I (still) the page's dynamic home, or should I become it?
+    bool home_path = ctrl_->isDynHome(gp);
+    NodeId dyn_home_hint = kInvalidNode;
+    if (!home_path && staticHomeOf_(gp) == self_) {
+        NodeId reg = ctrl_->registryLookup(gp);
+        if (reg == kInvalidNode || reg == self_)
+            home_path = true; // first mapping: static home becomes home
+        else
+            dyn_home_hint = reg; // migrated away; fault as a client
+    }
+
+    if (home_path) {
+        co_await homeMapIn(gp);
+        FrameNum hf = ctrl_->pit().frameOf(gp);
+        prism_assert(hf != kInvalidFrame, "home map-in left no frame");
+        co_await delay(cfg_.pitCommandCycles);
+        pt_.map(vp, hf, PageMode::Scoma);
+        *out_frame = hf;
+        ++stats_.faultsHome;
+        lk.release();
+        co_return;
+    }
+
+    // ----- Client fault -------------------------------------------------
+    // NOTE: copy the cached-home record by value; iterators into
+    // cachedHome_ must not be held across suspension points (another
+    // fault's insert may rehash the table).
+    CachedHome ch{kInvalidNode, kInvalidFrame};
+    auto ch_it = cachedHome_.find(gp);
+    if (ch_it == cachedHome_.end()) {
+        // Ensure the page is paged-in at home and learn the home frame.
+        PageInWait w(eq_);
+        pendingPageIn_[gp] = &w;
+        Msg m;
+        m.type = MsgType::PageInReq;
+        m.dst = dyn_home_hint != kInvalidNode ? dyn_home_hint
+                                              : staticHomeOf_(gp);
+        m.gpage = gp;
+        send(std::move(m));
+        co_await w.ev.wait();
+        pendingPageIn_.erase(gp);
+        ch = CachedHome{w.dynHome, w.homeFrame};
+        cachedHome_.emplace(gp, ch);
+    } else {
+        // Home-page-status flag is set: no page-in request needed.
+        ch = ch_it->second;
+        ++stats_.faultsCachedHome;
+    }
+
+    PageMode mode = PageMode::Scoma;
+    prism_assert(policy_ != nullptr, "no page policy installed");
+    co_await policy_->chooseClientMode(*this, gp, &mode);
+
+    FrameNum f;
+    if (mode == PageMode::Scoma) {
+        f = realPool_.alloc();
+        prism_assert(f != kInvalidFrame, "out of real frames");
+        clientScomaFrames_.insert(f);
+        frameToPage_[f] = gp;
+        if (clientScomaFrames_.size() > clientScomaPeak_)
+            clientScomaPeak_ = clientScomaFrames_.size();
+    } else {
+        f = imagPool_.alloc();
+        frameToPage_[f] = gp;
+        laNumaMapped_.push_back(gp);
+    }
+
+    ctrl_->installClientMapping(f, gp, staticHomeOf_(gp), ch.dynHome,
+                                ch.homeFrame, mode);
+    co_await delay(cfg_.pitCommandCycles);
+    pt_.map(vp, f, mode);
+    *out_frame = f;
+    ++stats_.faultsClient;
+    lk.release();
+}
+
+CoTask
+Kernel::homeMapIn(GPage gp)
+{
+    if (ctrl_->isDynHome(gp))
+        co_return;
+    FrameNum f = realPool_.alloc();
+    prism_assert(f != kInvalidFrame, "out of frames for home page");
+    if (diskPages_.count(gp)) {
+        co_await delay(cfg_.diskLatency);
+        diskPages_.erase(gp);
+    }
+    ctrl_->installHomeMapping(f, gp);
+    homeClients_.emplace(gp, 0);
+}
+
+// ---------------------------------------------------------------------
+// Page-outs
+// ---------------------------------------------------------------------
+
+void
+Kernel::archiveUtilization(FrameNum f)
+{
+    if (f >= kImaginaryFrameBase)
+        return; // imaginary frames consume no memory
+    const PitEntry *e = ctrl_->pit().entry(f);
+    if (!e || !e->accessed)
+        return;
+    utilArchivedLines_ += e->accessed->popcount();
+    ++utilArchivedFrames_;
+}
+
+CoTask
+Kernel::pageOutClient(GPage gp, bool convert_to_lanuma)
+{
+    CoMutex &lk = globalLock(gp);
+    co_await lk.acquire();
+
+    FrameNum f = ctrl_->pit().frameOf(gp);
+    if (f == kInvalidFrame) {
+        lk.release();
+        co_return; // already paged out
+    }
+    if (ctrl_->isDynHome(gp)) {
+        // The page migrated TO us while it was being selected as a
+        // victim: our client frame was promoted to the home frame.
+        // Home frames are never client-paged-out.
+        lk.release();
+        co_return;
+    }
+    PitEntry *e = ctrl_->pit().entry(f);
+    prism_assert(e->mode != PageMode::Local, "pageOutClient on local page");
+    const PageMode mode = e->mode;
+    const NodeId dyn_home = e->dynHome;
+
+    // Unmap and shoot down local TLBs (node-local only).
+    VPage vp = vpageOf(gp);
+    pt_.unmap(vp);
+    if (tlbShootdown_)
+        tlbShootdown_(vp);
+    co_await delay(static_cast<Cycles>(cfg_.tlbShootdownCycles) *
+                   cfg_.procsPerNode);
+
+    // Flush: write modified lines back to the home.  A stale
+    // translation may still start an access while we flush, so loop
+    // until the page is verifiably quiet, then remove the mapping in
+    // the same event — after that, late accesses bounce (BadFrame)
+    // and re-fault.
+    for (;;) {
+        co_await ctrl_->flushClientPage(f, nullptr);
+        if (ctrl_->isDynHome(gp)) {
+            // A migration promoted our frame to home mid-flush; the
+            // flush's writebacks were absorbed by our own (adopted)
+            // directory.  Abandon the page-out; local processors
+            // refault and remap the home frame.
+            lk.release();
+            co_return;
+        }
+        if (ctrl_->clientPageQuiescent(f))
+            break;
+        co_await delay(cfg_.retryDelay);
+    }
+    archiveUtilization(f);
+    ctrl_->removeClientMapping(f);
+    frameToPage_.erase(f);
+
+    // Tell the home we no longer cache the page.
+    NoticeWait w(eq_);
+    pendingNoticeAck_[gp] = &w;
+    Msg m;
+    m.type = MsgType::PageOutNotice;
+    m.dst = dyn_home;
+    m.gpage = gp;
+    send(std::move(m));
+    co_await w.ev.wait();
+    pendingNoticeAck_.erase(gp);
+
+    // Only recycle the frame number once the home has acknowledged.
+    if (mode == PageMode::Scoma) {
+        clientScomaFrames_.erase(f);
+        realPool_.release(f);
+    } else {
+        imagPool_.release(f);
+    }
+
+    if (convert_to_lanuma) {
+        modeOverride_[gp] = PageMode::LaNuma;
+        ++stats_.conversionsToLaNuma;
+    }
+    ++stats_.clientPageOuts;
+    co_await delay(cfg_.pageOutKernelCycles);
+    lk.release();
+}
+
+CoTask
+Kernel::pageOutHome(GPage gp)
+{
+    CoMutex &lk = globalLock(gp);
+    co_await lk.acquire();
+    if (!ctrl_->isDynHome(gp)) {
+        lk.release();
+        co_return;
+    }
+    dyingPages_.insert(gp);
+
+    const std::uint64_t clients = homeClients_[gp];
+    CoLatch latch(eq_);
+    pendingHomePageOut_[gp] = &latch;
+    std::uint32_t n = 0;
+    for (NodeId c = 0; c < cfg_.numNodes; ++c) {
+        if (!((clients >> c) & 1))
+            continue;
+        Msg m;
+        m.type = MsgType::HomePageOutReq;
+        m.dst = c;
+        m.gpage = gp;
+        send(std::move(m));
+        ++n;
+    }
+    latch.expect(n);
+    latch.arm();
+    co_await latch.wait();
+    pendingHomePageOut_.erase(gp);
+
+    // Wait until no protocol handler is mid-transaction on the page's
+    // lines, then collect local processor copies and write to disk.
+    while (!ctrl_->homePageQuiescent(gp))
+        co_await delay(cfg_.retryDelay);
+    FrameNum hf = ctrl_->pit().frameOf(gp);
+    prism_assert(hf != kInvalidFrame, "home page without frame");
+    if (cacheFlush_)
+        cacheFlush_(hf);
+    co_await delay(cfg_.diskLatency);
+
+    VPage vp = vpageOf(gp);
+    pt_.unmap(vp);
+    if (tlbShootdown_)
+        tlbShootdown_(vp);
+    co_await delay(static_cast<Cycles>(cfg_.tlbShootdownCycles) *
+                   cfg_.procsPerNode);
+
+    archiveUtilization(hf);
+    ctrl_->removeHomeMapping(hf, gp);
+    realPool_.release(hf);
+    homeClients_.erase(gp);
+    diskPages_.insert(gp);
+    dyingPages_.erase(gp);
+    ++stats_.homePageOuts;
+    lk.release();
+
+    // Serve page-in requests that arrived while the page was dying.
+    auto it = deferredPageIn_.find(gp);
+    if (it != deferredPageIn_.end()) {
+        std::vector<Msg> q = std::move(it->second);
+        deferredPageIn_.erase(it);
+        for (auto &dm : q)
+            receive(std::move(dm));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Policy support
+// ---------------------------------------------------------------------
+
+std::uint64_t
+Kernel::clientCap() const
+{
+    if (!cfg_.clientFrameCapPerNode.empty())
+        return cfg_.clientFrameCapPerNode[self_];
+    return cfg_.clientFrameCap;
+}
+
+bool
+Kernel::clientCacheFull() const
+{
+    const std::uint64_t cap = clientCap();
+    return cap != 0 && clientScomaFrames_.size() >= cap;
+}
+
+GPage
+Kernel::lruClientPage() const
+{
+    GPage best = kInvalidGPage;
+    Tick best_t = 0;
+    const Pit &pit = ctrl_->pit();
+    for (FrameNum f : clientScomaFrames_) {
+        const PitEntry *e = pit.entry(f);
+        if (!e)
+            continue;
+        if (pageBusy(e->gpage))
+            continue; // page mid-fault/mid-pageout; skip
+        if (e->tags && e->tags->anyTransit())
+            continue;
+        if (best == kInvalidGPage || e->lastAccess < best_t) {
+            best = e->gpage;
+            best_t = e->lastAccess;
+        }
+    }
+    return best;
+}
+
+std::vector<FrameNum>
+Kernel::clientScomaFrameList() const
+{
+    std::vector<FrameNum> out(clientScomaFrames_.begin(),
+                              clientScomaFrames_.end());
+    // Deterministic order for reproducible policy decisions.
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+GPage
+Kernel::pageOfClientFrame(FrameNum f) const
+{
+    auto it = frameToPage_.find(f);
+    return it == frameToPage_.end() ? kInvalidGPage : it->second;
+}
+
+void
+Kernel::setModeOverride(GPage gp, PageMode m)
+{
+    modeOverride_[gp] = m;
+}
+
+PageMode
+Kernel::modeOverride(GPage gp) const
+{
+    auto it = modeOverride_.find(gp);
+    return it == modeOverride_.end() ? PageMode::Scoma : it->second;
+}
+
+CoTask
+Kernel::reconsiderLaNumaPages(std::uint64_t threshold,
+                              std::uint32_t max_scan)
+{
+    const Pit &pit = ctrl_->pit();
+    std::uint32_t scanned = 0;
+    while (scanned < max_scan && !laNumaMapped_.empty()) {
+        if (reconsiderCursor_ >= laNumaMapped_.size())
+            reconsiderCursor_ = 0;
+        GPage gp = laNumaMapped_[reconsiderCursor_];
+        FrameNum f = pit.frameOf(gp);
+        const PitEntry *e =
+            (f == kInvalidFrame) ? nullptr : pit.entry(f);
+        if (!e || e->mode == PageMode::Scoma) {
+            // Stale entry (paged out or converted); drop from the list.
+            laNumaMapped_[reconsiderCursor_] = laNumaMapped_.back();
+            laNumaMapped_.pop_back();
+            ++scanned;
+            continue;
+        }
+        if (e->remoteFetches >= threshold && !pageBusy(gp)) {
+            laNumaMapped_[reconsiderCursor_] = laNumaMapped_.back();
+            laNumaMapped_.pop_back();
+            modeOverride_[gp] = PageMode::Scoma;
+            ++stats_.conversionsToScoma;
+            co_await pageOutClient(gp, false);
+        } else {
+            ++reconsiderCursor_;
+        }
+        ++scanned;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel message handling
+// ---------------------------------------------------------------------
+
+void
+Kernel::receive(Msg m)
+{
+    switch (m.type) {
+      case MsgType::PageInReq:
+        onPageInReq(std::move(m));
+        return;
+      case MsgType::PageInRep: {
+        auto it = pendingPageIn_.find(m.gpage);
+        prism_assert(it != pendingPageIn_.end(),
+                     "PageInRep without a waiting fault");
+        it->second->dynHome = m.dynHome;
+        it->second->homeFrame = m.homeFrame;
+        it->second->ev.signal();
+        return;
+      }
+      case MsgType::PageOutNotice:
+        onPageOutNotice(std::move(m));
+        return;
+      case MsgType::PageOutNoticeAck: {
+        auto it = pendingNoticeAck_.find(m.gpage);
+        prism_assert(it != pendingNoticeAck_.end(),
+                     "PageOutNoticeAck without a waiter");
+        it->second->ev.signal();
+        return;
+      }
+      case MsgType::HomePageOutReq:
+        onHomePageOutReq(std::move(m));
+        return;
+      case MsgType::HomePageOutAck: {
+        auto it = pendingHomePageOut_.find(m.gpage);
+        prism_assert(it != pendingHomePageOut_.end(),
+                     "HomePageOutAck without a waiter");
+        it->second->arrive();
+        return;
+      }
+      default:
+        panic("coherence message %s delivered to kernel",
+              msgTypeName(m.type));
+    }
+}
+
+FireAndForget
+Kernel::onPageInReq(Msg m)
+{
+    const GPage gp = m.gpage;
+    // Forwarded requests carry the original client in `requester`.
+    const NodeId client =
+        m.requester != kInvalidNode ? m.requester : m.src;
+    m.requester = client;
+    if (!ctrl_->isDynHome(gp)) {
+        if (staticHomeOf_(gp) == self_) {
+            NodeId reg = ctrl_->registryLookup(gp);
+            if (reg != kInvalidNode && reg != self_) {
+                m.dst = reg; // page migrated: forward to dynamic home
+                send(std::move(m));
+                co_return;
+            }
+            // else: fall through and become the home below
+        } else {
+            m.dst = staticHomeOf_(gp); // stale arrival; re-route
+            send(std::move(m));
+            co_return;
+        }
+    }
+    if (dyingPages_.count(gp)) {
+        deferredPageIn_[gp].push_back(std::move(m));
+        co_return;
+    }
+    CoMutex &lk = globalLock(gp);
+    co_await lk.acquire();
+    co_await homeMapIn(gp);
+    homeClients_[gp] |= 1ULL << client;
+    co_await delay(cfg_.homePageInService);
+    ++stats_.pageInRequestsServed;
+
+    Msg r;
+    r.type = MsgType::PageInRep;
+    r.dst = client;
+    r.gpage = gp;
+    r.homeFrame = ctrl_->pit().frameOf(gp);
+    r.dynHome = self_;
+    send(std::move(r));
+    lk.release();
+}
+
+FireAndForget
+Kernel::onPageOutNotice(Msg m)
+{
+    const GPage gp = m.gpage;
+    const NodeId client =
+        m.requester != kInvalidNode ? m.requester : m.src;
+    m.requester = client;
+    if (!ctrl_->isDynHome(gp)) {
+        // Stale dynamic-home knowledge at the client: re-route.
+        if (staticHomeOf_(gp) == self_) {
+            NodeId reg = ctrl_->registryLookup(gp);
+            prism_assert(reg != kInvalidNode && reg != self_,
+                         "page-out notice for an unmapped page");
+            m.dst = reg;
+        } else {
+            m.dst = staticHomeOf_(gp);
+        }
+        send(std::move(m));
+        co_return;
+    }
+    auto it = homeClients_.find(gp);
+    if (it != homeClients_.end())
+        it->second &= ~(1ULL << client);
+    Cycles c = ctrl_->homeRemoveClient(gp, client);
+    co_await delay(c);
+
+    Msg r;
+    r.type = MsgType::PageOutNoticeAck;
+    r.dst = client;
+    r.gpage = gp;
+    send(std::move(r));
+}
+
+FireAndForget
+Kernel::onHomePageOutReq(Msg m)
+{
+    const GPage gp = m.gpage;
+    // Reset the home-page-status flag (paper Section 3.3).
+    cachedHome_.erase(gp);
+    if (!pageBusy(gp) && ctrl_->pit().frameOf(gp) != kInvalidFrame &&
+        !ctrl_->isDynHome(gp)) {
+        co_await pageOutClient(gp, false);
+    }
+    // If the page is mid-fault or mid-pageout locally, the in-flight
+    // operation resolves the copy (its own notice covers us).
+    Msg r;
+    r.type = MsgType::HomePageOutAck;
+    r.dst = m.src;
+    r.gpage = gp;
+    send(std::move(r));
+}
+
+// ---------------------------------------------------------------------
+// Migration cooperation
+// ---------------------------------------------------------------------
+
+FrameNum
+Kernel::migrationAllocFrame(GPage)
+{
+    FrameNum f = realPool_.alloc();
+    prism_assert(f != kInvalidFrame, "migration frame alloc failed");
+    return f;
+}
+
+void
+Kernel::migrationFreeFrame(FrameNum f, GPage gp)
+{
+    VPage vp = vpageOf(gp);
+    if (pt_.mapped(vp))
+        pt_.unmap(vp);
+    if (tlbShootdown_)
+        tlbShootdown_(vp);
+    if (cacheFlush_)
+        cacheFlush_(f);
+    archiveUtilization(f);
+    frameToPage_.erase(f);
+    if (f >= kImaginaryFrameBase) {
+        imagPool_.release(f);
+    } else {
+        clientScomaFrames_.erase(f);
+        realPool_.release(f);
+    }
+}
+
+std::uint64_t
+Kernel::homeClients(GPage gp) const
+{
+    auto it = homeClients_.find(gp);
+    return it == homeClients_.end() ? 0 : it->second;
+}
+
+void
+Kernel::adoptHomePage(GPage gp, std::uint64_t clients)
+{
+    homeClients_[gp] = clients;
+    cachedHome_.erase(gp); // we are the home now
+    // If we had a client S-COMA frame it was promoted to the home
+    // frame: it no longer counts against the client page cache.
+    FrameNum f = ctrl_->pit().frameOf(gp);
+    if (f != kInvalidFrame && clientScomaFrames_.erase(f))
+        frameToPage_.erase(f);
+}
+
+void
+Kernel::departHomePage(GPage gp)
+{
+    homeClients_.erase(gp);
+}
+
+// ---------------------------------------------------------------------
+// Accounting
+// ---------------------------------------------------------------------
+
+double
+Kernel::averageUtilization() const
+{
+    std::uint64_t lines = utilArchivedLines_;
+    std::uint64_t frames = utilArchivedFrames_;
+    std::uint32_t lines_per_page = 0;
+    const Pit &pit = ctrl_->pit();
+    for (FrameNum f : pit.allFrames()) {
+        if (f >= kImaginaryFrameBase)
+            continue;
+        const PitEntry *e = pit.entry(f);
+        if (!e || !e->accessed)
+            continue;
+        lines += e->accessed->popcount();
+        lines_per_page = e->accessed->lines();
+        ++frames;
+    }
+    if (!lines_per_page)
+        lines_per_page = static_cast<std::uint32_t>(kPageBytes) /
+                         cfg_.lineBytes;
+    if (!frames)
+        return 0.0;
+    return static_cast<double>(lines) /
+           (static_cast<double>(frames) * lines_per_page);
+}
+
+void
+Kernel::registerStats(StatRegistry &reg, const std::string &prefix)
+{
+    reg.add(prefix + ".faults", &stats_.faults, "page faults handled");
+    reg.add(prefix + ".faultsPrivate", &stats_.faultsPrivate, "");
+    reg.add(prefix + ".faultsHome", &stats_.faultsHome, "");
+    reg.add(prefix + ".faultsClient", &stats_.faultsClient, "");
+    reg.add(prefix + ".faultsCachedHome", &stats_.faultsCachedHome,
+            "client faults served without contacting the home");
+    reg.add(prefix + ".clientPageOuts", &stats_.clientPageOuts, "");
+    reg.add(prefix + ".homePageOuts", &stats_.homePageOuts, "");
+    reg.add(prefix + ".conversionsToLaNuma",
+            &stats_.conversionsToLaNuma, "");
+    reg.add(prefix + ".conversionsToScoma", &stats_.conversionsToScoma,
+            "");
+    reg.add(prefix + ".pageInRequestsServed",
+            &stats_.pageInRequestsServed, "");
+}
+
+} // namespace prism

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Per-node operating system kernel (paper Section 3.3 / 3.4).
+ *
+ * PRISM runs multiple independent kernels, one per node; each manages
+ * only its local resources.  The kernel owns the node-private page
+ * table and per-mode frame pools, implements the external paging
+ * protocol (client page-ins through the home, page-outs with
+ * write-back, home-page-status flags), binds virtual segments to
+ * global segments at user-controlled granularity, and invokes the
+ * page-mode policy at client page faults.  No kernel ever dereferences
+ * another node's physical memory.
+ */
+
+#ifndef PRISM_OS_KERNEL_HH
+#define PRISM_OS_KERNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "coherence/controller.hh"
+#include "coherence/msg.hh"
+#include "core/config.hh"
+#include "mem/addr.hh"
+#include "os/frame_pool.hh"
+#include "os/ipc_server.hh"
+#include "os/page_table.hh"
+#include "sim/coro_sync.hh"
+#include "sim/task.hh"
+
+namespace prism {
+
+class PagePolicy;
+
+/** Kernel statistics (per node). */
+struct KernelStats {
+    std::uint64_t faults = 0;
+    std::uint64_t faultsPrivate = 0;
+    std::uint64_t faultsHome = 0;
+    std::uint64_t faultsClient = 0;
+    std::uint64_t faultsCachedHome = 0; //!< home-page-status flag hits
+    std::uint64_t clientPageOuts = 0;
+    std::uint64_t homePageOuts = 0;
+    std::uint64_t conversionsToLaNuma = 0;
+    std::uint64_t conversionsToScoma = 0;
+    std::uint64_t pageInRequestsServed = 0;
+};
+
+/** One node's kernel. */
+class Kernel
+{
+  public:
+    Kernel(NodeId self, const MachineConfig &cfg, EventQueue &eq,
+           IpcServer &ipc, std::function<NodeId(GPage)> static_home_of,
+           std::function<void(Msg &&)> send);
+
+    /** Wire the node's coherence controller (post-construction). */
+    void attachController(CoherenceController *c) { ctrl_ = c; }
+
+    /** Install the page-mode policy (owned by the machine). */
+    void setPolicy(PagePolicy *p) { policy_ = p; }
+
+    /** Hook: invalidate @p vp in every local processor TLB. */
+    void
+    setTlbShootdown(std::function<void(VPage)> fn)
+    {
+        tlbShootdown_ = std::move(fn);
+    }
+
+    /** Hook: invalidate all local processor-cache lines of a frame. */
+    void
+    setCacheFlush(std::function<void(FrameNum)> fn)
+    {
+        cacheFlush_ = std::move(fn);
+    }
+
+    NodeId self() const { return self_; }
+    const MachineConfig &config() const { return cfg_; }
+    PageTable &pageTable() { return pt_; }
+    CoherenceController &controller() { return *ctrl_; }
+    const KernelStats &stats() const { return stats_; }
+    EventQueue &eventQueue() { return eq_; }
+
+    // --- Global naming and binding ------------------------------------
+
+    /**
+     * Attach virtual segment @p vsid to global segment @p gsid
+     * (globalized shmat; identical page numbering).  Global binding
+     * happens here, at segment granularity, not per page fault.
+     */
+    void bindSegment(std::uint64_t vsid, std::uint64_t gsid);
+
+    /** Global page for @p vp, if its segment is bound. */
+    bool globalPageOf(VPage vp, GPage *gp) const;
+
+    /** Virtual page for @p gp at this node (inverse binding). */
+    VPage vpageOf(GPage gp) const;
+
+    // --- Fault and paging paths -------------------------------------------
+
+    /**
+     * Handle a page fault for @p vp (runs on the faulting processor's
+     * coroutine).  On return the page is mapped and @p out_frame holds
+     * the frame.
+     */
+    CoTask handleFault(VPage vp, FrameNum *out_frame);
+
+    /**
+     * Page out this node's client copy of @p gp, writing dirty lines
+     * back to the home.  If @p convert_to_lanuma, future faults on the
+     * page at this node use LA-NUMA frames (dynamic re-binding by
+     * page-out + refault, Section 3.3).
+     */
+    CoTask pageOutClient(GPage gp, bool convert_to_lanuma);
+
+    /**
+     * Page out a page this node is home for: request page-outs from
+     * all clients, await acknowledgements, write to backing store.
+     */
+    CoTask pageOutHome(GPage gp);
+
+    // --- Policy support ----------------------------------------------------
+
+    /** Per-node cap on client S-COMA frames (0 = unlimited). */
+    std::uint64_t clientCap() const;
+
+    /** Live client S-COMA frames. */
+    std::uint64_t clientScomaCount() const
+    {
+        return clientScomaFrames_.size();
+    }
+
+    /** True if the page cache has reached its cap. */
+    bool clientCacheFull() const;
+
+    /** Least-recently-used client S-COMA page (kInvalidGPage if none). */
+    GPage lruClientPage() const;
+
+    /** All client S-COMA frames (candidates for Dyn-Util). */
+    std::vector<FrameNum> clientScomaFrameList() const;
+
+    /** Global page mapped by a client frame. */
+    GPage pageOfClientFrame(FrameNum f) const;
+
+    /** Per-page mode override set by adaptive policies. */
+    void setModeOverride(GPage gp, PageMode m);
+    PageMode modeOverride(GPage gp) const;
+
+    /**
+     * Dyn-Both extension: scan up to @p max_scan mapped LA-NUMA pages;
+     * any whose remote refetch count exceeds @p threshold is paged out
+     * and reverted to S-COMA for its next fault.
+     */
+    CoTask reconsiderLaNumaPages(std::uint64_t threshold,
+                                 std::uint32_t max_scan);
+
+    /** True if the fault/pageout lock for @p gp is currently held. */
+    bool pageBusy(GPage gp) const;
+
+    // --- Message interface ----------------------------------------------
+
+    /** Deliver a kernel-class message. */
+    void receive(Msg m);
+
+    // --- Migration cooperation (ControllerHost duties) ----------------------
+
+    FrameNum migrationAllocFrame(GPage gp);
+    void migrationFreeFrame(FrameNum f, GPage gp);
+    std::uint64_t homeClients(GPage gp) const;
+    void adoptHomePage(GPage gp, std::uint64_t clients);
+    void departHomePage(GPage gp);
+
+    // --- Memory accounting (Table 3) ------------------------------------
+
+    /** Real frames currently allocated (memory consumption). */
+    std::uint64_t realFramesLive() const { return realPool_.live(); }
+
+    /** Peak real frames allocated. */
+    std::uint64_t realFramesPeak() const { return realPool_.peak(); }
+
+    /** Cumulative real-frame allocations. */
+    std::uint64_t realFramesCumulative() const
+    {
+        return realPool_.cumulative();
+    }
+
+    /** Peak client S-COMA frames (SCOMA-70 cap calibration). */
+    std::uint64_t clientScomaPeak() const { return clientScomaPeak_; }
+
+    /**
+     * Average utilization (fraction of lines accessed) over all real
+     * frames ever allocated, live frames included.
+     */
+    double averageUtilization() const;
+
+    /** Register kernel counters. */
+    void registerStats(class StatRegistry &reg, const std::string &prefix);
+
+  private:
+    struct PageInWait {
+        explicit PageInWait(EventQueue &eq) : ev(eq) {}
+        CoEvent ev;
+        NodeId dynHome = kInvalidNode;
+        FrameNum homeFrame = kInvalidFrame;
+    };
+
+    struct NoticeWait {
+        explicit NoticeWait(EventQueue &eq) : ev(eq) {}
+        CoEvent ev;
+    };
+
+    struct CachedHome {
+        NodeId dynHome;
+        FrameNum homeFrame;
+    };
+
+    CoMutex &globalLock(GPage gp);
+    CoMutex &privateLock(VPage vp);
+    DelayAwaiter delay(Cycles c) { return DelayAwaiter(eq_, c); }
+    void send(Msg &&m);
+
+    /** Map @p gp in at this (home) node if not already (lock held). */
+    CoTask homeMapIn(GPage gp);
+
+    /** Archive a departing frame's utilization before PIT removal. */
+    void archiveUtilization(FrameNum f);
+
+    FireAndForget onPageInReq(Msg m);
+    FireAndForget onPageOutNotice(Msg m);
+    FireAndForget onHomePageOutReq(Msg m);
+
+    NodeId self_;
+    const MachineConfig &cfg_;
+    EventQueue &eq_;
+    IpcServer &ipc_;
+    std::function<NodeId(GPage)> staticHomeOf_;
+    std::function<void(Msg &&)> sendFn_;
+    std::function<void(VPage)> tlbShootdown_;
+    std::function<void(FrameNum)> cacheFlush_;
+    CoherenceController *ctrl_ = nullptr;
+    PagePolicy *policy_ = nullptr;
+
+    PageTable pt_;
+    FramePool realPool_{0};
+    FramePool imagPool_{kImaginaryFrameBase};
+
+    std::unordered_map<std::uint64_t, std::uint64_t> vsidToGsid_;
+    std::unordered_map<std::uint64_t, std::uint64_t> gsidToVsid_;
+
+    std::unordered_map<GPage, std::unique_ptr<CoMutex>> gLocks_;
+    std::unordered_map<VPage, std::unique_ptr<CoMutex>> pLocks_;
+
+    std::unordered_map<GPage, CachedHome> cachedHome_;
+    std::unordered_map<GPage, PageInWait *> pendingPageIn_;
+    std::unordered_map<GPage, NoticeWait *> pendingNoticeAck_;
+    std::unordered_map<GPage, CoLatch *> pendingHomePageOut_;
+    std::unordered_map<GPage, std::vector<Msg>> deferredPageIn_;
+    std::unordered_set<GPage> dyingPages_;
+
+    std::unordered_map<GPage, std::uint64_t> homeClients_;
+    std::unordered_set<GPage> diskPages_;
+
+    std::unordered_set<FrameNum> clientScomaFrames_;
+    std::unordered_map<FrameNum, GPage> frameToPage_;
+    std::unordered_map<GPage, PageMode> modeOverride_;
+    std::uint64_t clientScomaPeak_ = 0;
+
+    /** Mapped LA-NUMA client pages (Dyn-Both reconsideration). */
+    std::vector<GPage> laNumaMapped_;
+    std::size_t reconsiderCursor_ = 0;
+
+    std::uint64_t utilArchivedLines_ = 0;
+    std::uint64_t utilArchivedFrames_ = 0;
+
+    KernelStats stats_;
+};
+
+} // namespace prism
+
+#endif // PRISM_OS_KERNEL_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Node-private page table.
+ *
+ * Each PRISM node's kernel manages a completely node-private
+ * translation between virtual and physical addresses; nothing in this
+ * table is visible to other nodes, which is what makes page faults,
+ * replication and migration free of global TLB invalidations.
+ */
+
+#ifndef PRISM_OS_PAGE_TABLE_HH
+#define PRISM_OS_PAGE_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "coherence/page_mode.hh"
+#include "mem/addr.hh"
+#include "sim/types.hh"
+
+namespace prism {
+
+/** A page-table entry. */
+struct Pte {
+    FrameNum frame = kInvalidFrame;
+    PageMode mode = PageMode::Local;
+};
+
+/** One node's virtual-to-physical map. */
+class PageTable
+{
+  public:
+    /** Translation for @p vp, or nullptr if unmapped. */
+    const Pte *
+    lookup(VPage vp) const
+    {
+        auto it = map_.find(vp);
+        return it == map_.end() ? nullptr : &it->second;
+    }
+
+    /** Install a mapping. */
+    void
+    map(VPage vp, FrameNum frame, PageMode mode)
+    {
+        map_[vp] = Pte{frame, mode};
+    }
+
+    /** Remove a mapping. */
+    void unmap(VPage vp) { map_.erase(vp); }
+
+    bool mapped(VPage vp) const { return map_.count(vp) != 0; }
+
+    std::size_t size() const { return map_.size(); }
+
+  private:
+    std::unordered_map<VPage, Pte> map_;
+};
+
+} // namespace prism
+
+#endif // PRISM_OS_PAGE_TABLE_HH

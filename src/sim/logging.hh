@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Error and status reporting helpers, in the spirit of gem5's logging.hh.
+ *
+ * panic() is for conditions that indicate a bug in PRISM itself and
+ * aborts (so a core dump / debugger is available).  fatal() is for user
+ * errors (bad configuration, invalid arguments) and exits cleanly with
+ * an error code.  warn()/inform() report conditions without stopping.
+ */
+
+#ifndef PRISM_SIM_LOGGING_HH
+#define PRISM_SIM_LOGGING_HH
+
+#include <cstdarg>
+
+namespace prism {
+
+/** Abort with a message: something that should never happen happened. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a message: the user asked for something impossible. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious but survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * panic() if @p cond is false.  Used for internal invariants that are
+ * cheap enough to keep enabled in release builds.  A printf-style
+ * message is required.
+ */
+#define prism_assert(cond, ...)                                           \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::prism::warn("assertion '%s' failed at %s:%d", #cond,        \
+                          __FILE__, __LINE__);                            \
+            ::prism::panic(__VA_ARGS__);                                  \
+        }                                                                 \
+    } while (0)
+
+} // namespace prism
+
+#endif // PRISM_SIM_LOGGING_HH

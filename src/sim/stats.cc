@@ -1,0 +1,51 @@
+#include "sim/stats.hh"
+
+namespace prism {
+
+std::optional<std::uint64_t>
+StatRegistry::get(const std::string &name) const
+{
+    for (const auto &e : entries_) {
+        if (e.name == name)
+            return *e.value;
+    }
+    return std::nullopt;
+}
+
+std::uint64_t
+StatRegistry::sumByPrefix(const std::string &prefix) const
+{
+    std::uint64_t sum = 0;
+    for (const auto &e : entries_) {
+        if (e.name.rfind(prefix, 0) == 0)
+            sum += *e.value;
+    }
+    return sum;
+}
+
+std::uint64_t
+StatRegistry::sumBySuffix(const std::string &suffix) const
+{
+    std::uint64_t sum = 0;
+    for (const auto &e : entries_) {
+        if (e.name.size() >= suffix.size() &&
+            e.name.compare(e.name.size() - suffix.size(), suffix.size(),
+                           suffix) == 0) {
+            sum += *e.value;
+        }
+    }
+    return sum;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &e : entries_) {
+        os << e.name << " " << *e.value;
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << "\n";
+    }
+}
+
+} // namespace prism

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Lightweight statistics registry.
+ *
+ * Hot paths increment plain std::uint64_t members; modules register a
+ * named reference to each counter so the registry can enumerate and
+ * dump them without adding any per-increment cost.
+ */
+
+#ifndef PRISM_SIM_STATS_HH
+#define PRISM_SIM_STATS_HH
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace prism {
+
+/** A registry of named references to module-owned counters. */
+class StatRegistry
+{
+  public:
+    /** Register counter @p value under @p name with description @p desc. */
+    void
+    add(std::string name, const std::uint64_t *value, std::string desc = "")
+    {
+        entries_.push_back(Entry{std::move(name), value, std::move(desc)});
+    }
+
+    /** Look up a counter's current value by exact name. */
+    std::optional<std::uint64_t> get(const std::string &name) const;
+
+    /** Sum of all counters whose name begins with @p prefix. */
+    std::uint64_t sumByPrefix(const std::string &prefix) const;
+
+    /** Sum of all counters whose name ends with @p suffix. */
+    std::uint64_t sumBySuffix(const std::string &suffix) const;
+
+    /** Write "name value  # desc" lines, in registration order. */
+    void dump(std::ostream &os) const;
+
+    /** Number of registered counters. */
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    struct Entry {
+        std::string name;
+        const std::uint64_t *value;
+        std::string desc;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+/** Fixed-bucket histogram for latency distributions. */
+class Histogram
+{
+  public:
+    /** Buckets: [0,b0), [b0,b1), ..., [b_{n-1}, inf). */
+    explicit Histogram(std::vector<std::uint64_t> bounds)
+        : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0)
+    {
+    }
+
+    void
+    sample(std::uint64_t v)
+    {
+        std::size_t i = 0;
+        while (i < bounds_.size() && v >= bounds_[i])
+            ++i;
+        ++counts_[i];
+        sum_ += v;
+        ++n_;
+        if (v > max_)
+            max_ = v;
+    }
+
+    std::uint64_t count() const { return n_; }
+    std::uint64_t max() const { return max_; }
+
+    double
+    mean() const
+    {
+        return n_ ? static_cast<double>(sum_) / static_cast<double>(n_) : 0.0;
+    }
+
+    const std::vector<std::uint64_t> &bounds() const { return bounds_; }
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+
+  private:
+    std::vector<std::uint64_t> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t sum_ = 0;
+    std::uint64_t n_ = 0;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace prism
+
+#endif // PRISM_SIM_STATS_HH

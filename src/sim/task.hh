@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Coroutine task type used to express simulated programs.
+ *
+ * Each simulated processor executes its workload as a CoTask coroutine.
+ * Memory accesses that miss, synchronization, and explicit delays are
+ * expressed as awaitables; the coroutine suspends and the event queue
+ * resumes it when the simulated operation completes.  CoTasks compose:
+ * a workload may be decomposed into sub-coroutines and co_await them.
+ */
+
+#ifndef PRISM_SIM_TASK_HH
+#define PRISM_SIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace prism {
+
+/**
+ * An eagerly-ownable, lazily-started coroutine returning void.
+ *
+ * Lifetime: the frame is destroyed by ~CoTask.  Because final_suspend
+ * always suspends, a completed coroutine's frame stays valid until its
+ * owning CoTask goes away, so `co_await subTask()` on a temporary is
+ * safe (the temporary outlives the await expression).
+ */
+class CoTask
+{
+  public:
+    struct promise_type;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    struct promise_type {
+        /** Coroutine to resume when this one finishes (nested await). */
+        std::coroutine_handle<> continuation;
+        /** Completion callback for root (detached-start) tasks. */
+        std::function<void()> onDone;
+
+        CoTask
+        get_return_object()
+        {
+            return CoTask{Handle::from_promise(*this)};
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter {
+            bool await_ready() noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(Handle h) noexcept
+            {
+                auto &p = h.promise();
+                if (p.onDone)
+                    p.onDone();
+                if (p.continuation)
+                    return p.continuation;
+                return std::noop_coroutine();
+            }
+
+            void await_resume() noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() {}
+
+        void
+        unhandled_exception()
+        {
+            // Workload coroutines must not throw: a simulated program
+            // has no simulated exception semantics to map this onto.
+            panic("unhandled exception escaped a CoTask coroutine");
+        }
+    };
+
+    CoTask() = default;
+    explicit CoTask(Handle h) : handle_(h) {}
+
+    CoTask(CoTask &&other) noexcept
+        : handle_(std::exchange(other.handle_, {}))
+    {
+    }
+
+    CoTask &
+    operator=(CoTask &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, {});
+        }
+        return *this;
+    }
+
+    CoTask(const CoTask &) = delete;
+    CoTask &operator=(const CoTask &) = delete;
+
+    ~CoTask() { destroy(); }
+
+    /** True if this object owns a coroutine frame. */
+    bool valid() const { return static_cast<bool>(handle_); }
+
+    /** True once the coroutine has run to completion. */
+    bool done() const { return !handle_ || handle_.done(); }
+
+    /**
+     * Start a root task.  @p on_done fires when the coroutine finishes
+     * (typically used to count completed processors).
+     */
+    void
+    start(std::function<void()> on_done = {})
+    {
+        prism_assert(handle_, "starting an empty CoTask");
+        handle_.promise().onDone = std::move(on_done);
+        handle_.resume();
+    }
+
+    /** Awaiting a CoTask runs it to completion, then resumes the caller. */
+    auto
+    operator co_await() noexcept
+    {
+        struct Awaiter {
+            Handle h;
+
+            bool await_ready() const noexcept { return !h || h.done(); }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> cont) noexcept
+            {
+                h.promise().continuation = cont;
+                return h;
+            }
+
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{handle_};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = {};
+        }
+    }
+
+    Handle handle_;
+};
+
+/**
+ * A detached, eagerly-started coroutine for protocol handlers.
+ *
+ * The frame owns itself: it starts running as soon as the handler
+ * function is called and is destroyed automatically when it finishes.
+ * Use for network-message handlers and other fire-and-forget activity
+ * whose completion nobody awaits directly (completion is communicated
+ * through CoLatch / CoEvent / state updates instead).
+ */
+struct FireAndForget {
+    struct promise_type {
+        FireAndForget get_return_object() { return {}; }
+        std::suspend_never initial_suspend() noexcept { return {}; }
+        std::suspend_never final_suspend() noexcept { return {}; }
+        void return_void() {}
+
+        void
+        unhandled_exception()
+        {
+            panic("unhandled exception escaped a FireAndForget coroutine");
+        }
+    };
+};
+
+/** Awaitable that resumes the coroutine after @p delay cycles. */
+class DelayAwaiter
+{
+  public:
+    DelayAwaiter(EventQueue &eq, Cycles delay) : eq_(eq), delay_(delay) {}
+
+    bool await_ready() const noexcept { return delay_ == 0; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        eq_.scheduleIn(delay_, [h] { h.resume(); });
+    }
+
+    void await_resume() const noexcept {}
+
+  private:
+    EventQueue &eq_;
+    Cycles delay_;
+};
+
+} // namespace prism
+
+#endif // PRISM_SIM_TASK_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Registry of the eight SPLASH-like applications (paper Table 2).
+ */
+
+#ifndef PRISM_WORKLOAD_APPS_HH
+#define PRISM_WORKLOAD_APPS_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace prism {
+
+/** Problem-size scale. */
+enum class AppScale {
+    Paper, //!< the paper's Table 2 data sets (LU scaled to 256^2)
+    Small, //!< fast sizes for tests and smoke runs
+    Tiny,  //!< minimal sizes for unit tests
+};
+
+/** A registered application. */
+struct AppSpec {
+    std::string name;
+    std::function<std::unique_ptr<Workload>()> make;
+};
+
+/** All eight applications at the given scale, in Table 2 order. */
+std::vector<AppSpec> standardApps(AppScale scale);
+
+/** One application by name (fatal if unknown). */
+std::unique_ptr<Workload> makeApp(const std::string &name, AppScale scale);
+
+} // namespace prism
+
+#endif // PRISM_WORKLOAD_APPS_HH

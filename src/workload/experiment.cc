@@ -1,0 +1,69 @@
+#include "workload/experiment.hh"
+
+#include "core/machine.hh"
+#include "workload/workload.hh"
+
+namespace prism {
+
+RunMetrics
+runOnce(const MachineConfig &cfg, const AppSpec &app)
+{
+    Machine m(cfg);
+    auto w = app.make();
+    return runWorkload(m, *w);
+}
+
+std::vector<PolicyKind>
+paperPolicies()
+{
+    return {PolicyKind::Scoma,   PolicyKind::LaNuma,
+            PolicyKind::Scoma70, PolicyKind::DynFcfs,
+            PolicyKind::DynUtil, PolicyKind::DynLru};
+}
+
+std::vector<ExperimentResult>
+runPolicySweep(const MachineConfig &base, const AppSpec &app,
+               const std::vector<PolicyKind> &policies,
+               double cap_fraction)
+{
+    // Calibration run: SCOMA with an unbounded page cache.
+    MachineConfig scoma_cfg = base;
+    scoma_cfg.policy = PolicyKind::Scoma;
+    scoma_cfg.clientFrameCap = 0;
+    scoma_cfg.clientFrameCapPerNode.clear();
+    RunMetrics scoma = runOnce(scoma_cfg, app);
+
+    // Per-node caps: 70% of the max client S-COMA frames SCOMA
+    // allocated on that node (at least one frame).
+    std::vector<std::uint64_t> caps;
+    caps.reserve(scoma.clientScomaPeakPerNode.size());
+    for (std::uint64_t peak : scoma.clientScomaPeakPerNode) {
+        auto cap = static_cast<std::uint64_t>(
+            static_cast<double>(peak) * cap_fraction);
+        caps.push_back(cap > 0 ? cap : 1);
+    }
+
+    std::vector<ExperimentResult> out;
+    for (PolicyKind pk : policies) {
+        ExperimentResult r;
+        r.app = app.name;
+        r.policy = pk;
+        if (pk == PolicyKind::Scoma) {
+            r.metrics = scoma;
+        } else {
+            MachineConfig cfg = base;
+            cfg.policy = pk;
+            if (pk == PolicyKind::LaNuma) {
+                cfg.clientFrameCap = 0;
+                cfg.clientFrameCapPerNode.clear();
+            } else {
+                cfg.clientFrameCapPerNode = caps;
+            }
+            r.metrics = runOnce(cfg, app);
+        }
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+} // namespace prism

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Experiment runner: the paper's Section 4 methodology.
+ *
+ * For each application we first run the SCOMA configuration (infinite
+ * page cache) to calibrate per-node page-cache capacities; SCOMA-70
+ * and the adaptive policies then cap each node's client S-COMA frames
+ * at 70% of the maximum the SCOMA run allocated on that node.
+ */
+
+#ifndef PRISM_WORKLOAD_EXPERIMENT_HH
+#define PRISM_WORKLOAD_EXPERIMENT_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/metrics.hh"
+#include "workload/apps.hh"
+
+namespace prism {
+
+/** One (application, policy) measurement. */
+struct ExperimentResult {
+    std::string app;
+    PolicyKind policy{};
+    RunMetrics metrics;
+};
+
+/** Run one workload instance under @p cfg. */
+RunMetrics runOnce(const MachineConfig &cfg, const AppSpec &app);
+
+/**
+ * Run @p app under every policy in @p policies, calibrating the
+ * SCOMA-70 caps from a SCOMA run first (reused as the SCOMA result if
+ * requested).  @p base supplies everything except policy and caps.
+ * @p cap_fraction is the paper's 70%.
+ */
+std::vector<ExperimentResult>
+runPolicySweep(const MachineConfig &base, const AppSpec &app,
+               const std::vector<PolicyKind> &policies,
+               double cap_fraction = 0.70);
+
+/** The paper's six configurations, Figure 7 order. */
+std::vector<PolicyKind> paperPolicies();
+
+} // namespace prism
+
+#endif // PRISM_WORKLOAD_EXPERIMENT_HH

@@ -1,0 +1,114 @@
+#include "workload/fft.hh"
+
+namespace prism {
+
+FftWorkload::FftWorkload(const Params &p) : params_(p)
+{
+    prism_assert(params_.logN % 2 == 0 && params_.logN >= 6,
+                 "FFT needs an even logN >= 6");
+}
+
+std::string
+FftWorkload::sizeDesc() const
+{
+    return std::to_string(1u << params_.logN) + " complex doubles";
+}
+
+void
+FftWorkload::setup(Machine &m)
+{
+    n_ = 1u << params_.logN;
+    rows_ = 1u << (params_.logN / 2);
+    cols_ = n_ / rows_;
+
+    const std::uint64_t elem = 16; // complex double
+    GlobalArena arena(m, /*key=*/0xFF7, 3 * std::uint64_t{n_} * elem +
+                                            4 * kPageBytes);
+    src_ = SimArray{arena.allocPages(std::uint64_t{n_} * elem), elem};
+    dst_ = SimArray{arena.allocPages(std::uint64_t{n_} * elem), elem};
+    roots_ = SimArray{arena.allocPages(std::uint64_t{n_} * elem), elem};
+}
+
+CoTask
+FftWorkload::transpose(Proc &p, const SimArray &from, const SimArray &to,
+                       std::uint32_t r0, std::uint32_t r1)
+{
+    // to[r][c] = from[c][r]: column-strided reads (all-to-all).
+    for (std::uint32_t r = r0; r < r1; ++r) {
+        for (std::uint32_t c = 0; c < cols_; ++c) {
+            co_await p.read(from.at(std::uint64_t{c} * cols_ + r));
+            co_await p.write(to.at(std::uint64_t{r} * cols_ + c));
+            p.compute(1);
+        }
+    }
+}
+
+CoTask
+FftWorkload::fftRows(Proc &p, const SimArray &a, std::uint32_t r0,
+                     std::uint32_t r1)
+{
+    const std::uint32_t passes = LineGeometry::log2i(cols_);
+    for (std::uint32_t r = r0; r < r1; ++r) {
+        for (std::uint32_t pass = 0; pass < passes; ++pass) {
+            for (std::uint32_t c = 0; c < cols_; ++c) {
+                const std::uint64_t i = std::uint64_t{r} * cols_ + c;
+                co_await p.read(a.at(i));
+                co_await p.read(roots_.at((std::uint64_t{c} << pass) &
+                                          (n_ - 1)));
+                co_await p.write(a.at(i));
+                p.compute(4);
+            }
+        }
+    }
+}
+
+CoTask
+FftWorkload::body(Proc &p, std::uint32_t tid, std::uint32_t nt)
+{
+    const std::uint32_t per = rows_ / nt;
+    const std::uint32_t r0 = tid * per;
+    const std::uint32_t r1 = (tid + 1 == nt) ? rows_ : r0 + per;
+
+    // Parallel init: each processor writes its rows and roots slice.
+    for (std::uint32_t r = r0; r < r1; ++r) {
+        for (std::uint32_t c = 0; c < cols_; ++c) {
+            co_await p.write(src_.at(std::uint64_t{r} * cols_ + c));
+            co_await p.write(roots_.at(std::uint64_t{r} * cols_ + c));
+            p.compute(2);
+        }
+    }
+
+    co_await p.barrier(0);
+    if (tid == 0)
+        co_await p.beginParallel();
+    co_await p.barrier(0);
+
+    co_await transpose(p, src_, dst_, r0, r1);
+    co_await p.barrier(0);
+    co_await fftRows(p, dst_, r0, r1);
+    co_await p.barrier(0);
+
+    // Twiddle multiplication.
+    for (std::uint32_t r = r0; r < r1; ++r) {
+        for (std::uint32_t c = 0; c < cols_; ++c) {
+            const std::uint64_t i = std::uint64_t{r} * cols_ + c;
+            co_await p.read(roots_.at(i));
+            co_await p.read(dst_.at(i));
+            co_await p.write(dst_.at(i));
+            p.compute(4);
+        }
+    }
+    co_await p.barrier(0);
+
+    co_await transpose(p, dst_, src_, r0, r1);
+    co_await p.barrier(0);
+    co_await fftRows(p, src_, r0, r1);
+    co_await p.barrier(0);
+    co_await transpose(p, src_, dst_, r0, r1);
+    co_await p.barrier(0);
+
+    if (tid == 0)
+        co_await p.endParallel();
+}
+
+} // namespace prism

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * FFT: six-step 1-D FFT over n complex doubles (SPLASH-2 style).
+ *
+ * The n points live in a sqrt(n) x sqrt(n) matrix; processors own row
+ * blocks.  Transposes are all-to-all communication; the row FFTs and
+ * twiddle multiplication are local to the owned rows; the roots-of-
+ * unity table is read-shared by everyone.
+ */
+
+#ifndef PRISM_WORKLOAD_FFT_HH
+#define PRISM_WORKLOAD_FFT_HH
+
+#include "workload/workload.hh"
+
+namespace prism {
+
+/** FFT workload (paper: 64K complex doubles). */
+class FftWorkload : public Workload
+{
+  public:
+    struct Params {
+        std::uint32_t logN = 16; //!< n = 2^logN complex doubles (even)
+    };
+
+    FftWorkload() : FftWorkload(Params{}) {}
+    explicit FftWorkload(const Params &p);
+
+    const char *name() const override { return "FFT"; }
+    std::string sizeDesc() const override;
+    void setup(Machine &m) override;
+    CoTask body(Proc &p, std::uint32_t tid, std::uint32_t nt) override;
+
+  private:
+    CoTask transpose(Proc &p, const SimArray &from, const SimArray &to,
+                     std::uint32_t r0, std::uint32_t r1);
+    CoTask fftRows(Proc &p, const SimArray &a, std::uint32_t r0,
+                   std::uint32_t r1);
+
+    Params params_;
+    std::uint32_t n_ = 0;
+    std::uint32_t rows_ = 0;
+    std::uint32_t cols_ = 0;
+    SimArray src_;
+    SimArray dst_;
+    SimArray roots_;
+};
+
+} // namespace prism
+
+#endif // PRISM_WORKLOAD_FFT_HH

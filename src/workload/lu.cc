@@ -1,0 +1,141 @@
+#include "workload/lu.hh"
+
+namespace prism {
+
+LuWorkload::LuWorkload(const Params &p) : params_(p)
+{
+    prism_assert(params_.n % params_.b == 0,
+                 "matrix dimension must be a block multiple");
+    nb_ = params_.n / params_.b;
+}
+
+std::string
+LuWorkload::sizeDesc() const
+{
+    return std::to_string(params_.n) + "x" + std::to_string(params_.n) +
+           " matrix, " + std::to_string(params_.b) + "x" +
+           std::to_string(params_.b) + " blocks";
+}
+
+void
+LuWorkload::setup(Machine &m)
+{
+    // Processor grid: nearest factorization of P.
+    const std::uint32_t np = m.numProcs();
+    pr_ = 1;
+    for (std::uint32_t d = 1; d * d <= np; ++d) {
+        if (np % d == 0)
+            pr_ = d;
+    }
+    pc_ = np / pr_;
+
+    const std::uint64_t bytes =
+        std::uint64_t{params_.n} * params_.n * 8;
+    GlobalArena arena(m, /*key=*/0x1D, bytes + 4 * kPageBytes);
+    a_ = SimArray{arena.allocPages(bytes), 8};
+}
+
+std::uint32_t
+LuWorkload::owner(std::uint32_t bi, std::uint32_t bj) const
+{
+    return (bi % pr_) * pc_ + (bj % pc_);
+}
+
+VAddr
+LuWorkload::elem(std::uint32_t bi, std::uint32_t bj, std::uint32_t i,
+                 std::uint32_t j) const
+{
+    // Block-major (contiguous blocks) layout.
+    const std::uint64_t b2 =
+        std::uint64_t{params_.b} * params_.b;
+    const std::uint64_t block = std::uint64_t{bi} * nb_ + bj;
+    return a_.at(block * b2 + std::uint64_t{i} * params_.b + j);
+}
+
+CoTask
+LuWorkload::factorDiag(Proc &p, std::uint32_t k)
+{
+    const std::uint32_t b = params_.b;
+    for (std::uint32_t i = 0; i < b; ++i) {
+        for (std::uint32_t j = i; j < b; ++j) {
+            co_await p.read(elem(k, k, i, j));
+            co_await p.write(elem(k, k, i, j));
+            p.compute(4);
+        }
+    }
+}
+
+CoTask
+LuWorkload::updateBlock(Proc &p, std::uint32_t bi, std::uint32_t bj,
+                        std::uint32_t k)
+{
+    // A[bi][bj] -= A[bi][k] * A[k][bj] (daxpy-structured).
+    const std::uint32_t b = params_.b;
+    for (std::uint32_t i = 0; i < b; ++i) {
+        for (std::uint32_t kk = 0; kk < b; ++kk) {
+            co_await p.read(elem(bi, k, i, kk));
+            for (std::uint32_t j = 0; j < b; j += 2) {
+                co_await p.read(elem(k, bj, kk, j));
+                co_await p.write(elem(bi, bj, i, j));
+                p.compute(4);
+            }
+        }
+    }
+}
+
+CoTask
+LuWorkload::body(Proc &p, std::uint32_t tid, std::uint32_t nt)
+{
+    const std::uint32_t b = params_.b;
+
+    // Parallel init: each owner writes its blocks.
+    for (std::uint32_t bi = 0; bi < nb_; ++bi) {
+        for (std::uint32_t bj = 0; bj < nb_; ++bj) {
+            if (owner(bi, bj) != tid)
+                continue;
+            for (std::uint32_t i = 0; i < b; ++i) {
+                for (std::uint32_t j = 0; j < b; ++j) {
+                    co_await p.write(elem(bi, bj, i, j));
+                    p.compute(1);
+                }
+            }
+        }
+    }
+
+    co_await p.barrier(0);
+    if (tid == 0)
+        co_await p.beginParallel();
+    co_await p.barrier(0);
+
+    for (std::uint32_t k = 0; k < nb_; ++k) {
+        if (owner(k, k) == tid)
+            co_await factorDiag(p, k);
+        co_await p.barrier(0);
+
+        // Perimeter.
+        for (std::uint32_t bj = k + 1; bj < nb_; ++bj) {
+            if (owner(k, bj) == tid)
+                co_await updateBlock(p, k, bj, k);
+        }
+        for (std::uint32_t bi = k + 1; bi < nb_; ++bi) {
+            if (owner(bi, k) == tid)
+                co_await updateBlock(p, bi, k, k);
+        }
+        co_await p.barrier(0);
+
+        // Interior.
+        for (std::uint32_t bi = k + 1; bi < nb_; ++bi) {
+            for (std::uint32_t bj = k + 1; bj < nb_; ++bj) {
+                if (owner(bi, bj) == tid)
+                    co_await updateBlock(p, bi, bj, k);
+            }
+        }
+        co_await p.barrier(0);
+    }
+
+    if (tid == 0)
+        co_await p.endParallel();
+    (void)nt;
+}
+
+} // namespace prism

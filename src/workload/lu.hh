@@ -1,0 +1,55 @@
+/**
+ * @file
+ * LU: blocked dense LU decomposition (SPLASH-2 contiguous-blocks
+ * style).  The n x n matrix is stored block-major; blocks are assigned
+ * to processors in a 2-D scatter.  Each step factors the diagonal
+ * block, updates the perimeter, then the interior, with barriers
+ * between the three sub-phases.
+ */
+
+#ifndef PRISM_WORKLOAD_LU_HH
+#define PRISM_WORKLOAD_LU_HH
+
+#include "workload/workload.hh"
+
+namespace prism {
+
+/** LU workload (paper: 512x512 matrix, 16x16 blocks). */
+class LuWorkload : public Workload
+{
+  public:
+    struct Params {
+        std::uint32_t n = 512; //!< matrix dimension
+        std::uint32_t b = 16;  //!< block dimension
+    };
+
+    LuWorkload() : LuWorkload(Params{}) {}
+    explicit LuWorkload(const Params &p);
+
+    const char *name() const override { return "LU"; }
+    std::string sizeDesc() const override;
+    void setup(Machine &m) override;
+    CoTask body(Proc &p, std::uint32_t tid, std::uint32_t nt) override;
+
+  private:
+    /** Owner of block (bi, bj) in the 2-D scatter. */
+    std::uint32_t owner(std::uint32_t bi, std::uint32_t bj) const;
+
+    /** Address of element (i, j) inside block (bi, bj). */
+    VAddr elem(std::uint32_t bi, std::uint32_t bj, std::uint32_t i,
+               std::uint32_t j) const;
+
+    CoTask factorDiag(Proc &p, std::uint32_t k);
+    CoTask updateBlock(Proc &p, std::uint32_t bi, std::uint32_t bj,
+                       std::uint32_t k);
+
+    Params params_;
+    std::uint32_t nb_ = 0; //!< blocks per dimension
+    std::uint32_t pr_ = 0; //!< processor grid rows
+    std::uint32_t pc_ = 0; //!< processor grid cols
+    SimArray a_;
+};
+
+} // namespace prism
+
+#endif // PRISM_WORKLOAD_LU_HH

@@ -1,0 +1,113 @@
+#include "workload/mp3d.hh"
+
+namespace prism {
+
+Mp3dWorkload::Mp3dWorkload(const Params &p) : params_(p) {}
+
+std::string
+Mp3dWorkload::sizeDesc() const
+{
+    return std::to_string(params_.particles) + " particles, " +
+           std::to_string(params_.iters) + " iters";
+}
+
+void
+Mp3dWorkload::setup(Machine &m)
+{
+    const std::uint64_t pb = std::uint64_t{params_.particles} * 64;
+    const std::uint64_t cells = std::uint64_t{params_.gridDim} *
+                                params_.gridDim * params_.gridDim;
+    GlobalArena arena(m, /*key=*/0x3D, pb + cells * 8 + 8 * kPageBytes);
+    particles_ = SimArray{arena.allocPages(pb), 64};
+    space_ = SimArray{arena.allocPages(cells * 8), 8};
+
+    Rng rng(params_.seed);
+    pos_.resize(params_.particles);
+    vel_.resize(params_.particles);
+    for (std::uint32_t i = 0; i < params_.particles; ++i) {
+        pos_[i] = P3{rng.uniform(), rng.uniform(), rng.uniform()};
+        // Hypersonic flow: strong +x drift plus thermal motion.
+        vel_[i] = P3{0.05 + 0.02 * rng.uniform(),
+                     0.02 * (rng.uniform() - 0.5),
+                     0.02 * (rng.uniform() - 0.5)};
+    }
+    lastInCell_.assign(cells, -1);
+}
+
+std::uint32_t
+Mp3dWorkload::cellOf(const P3 &p) const
+{
+    const std::uint32_t g = params_.gridDim;
+    auto idx = [g](double v) {
+        auto i = static_cast<std::uint32_t>(v * g);
+        return i >= g ? g - 1 : i;
+    };
+    return (idx(p.x) * g + idx(p.y)) * g + idx(p.z);
+}
+
+CoTask
+Mp3dWorkload::body(Proc &p, std::uint32_t tid, std::uint32_t nt)
+{
+    const std::uint32_t n = params_.particles;
+    const std::uint32_t per = n / nt;
+    const std::uint32_t i0 = tid * per;
+    const std::uint32_t i1 = (tid + 1 == nt) ? n : i0 + per;
+    Rng rng(params_.seed + 1000 + tid);
+
+    // Master init (as in SPLASH MP3D).
+    if (tid == 0) {
+        for (std::uint32_t i = 0; i < n; ++i) {
+            co_await p.write(particles_.at(i));
+            p.compute(2);
+        }
+    }
+
+    co_await p.barrier(0);
+    if (tid == 0)
+        co_await p.beginParallel();
+    co_await p.barrier(0);
+
+    for (std::uint32_t it = 0; it < params_.iters; ++it) {
+        for (std::uint32_t i = i0; i < i1; ++i) {
+            // Move: read the particle, advance, wrap at boundaries.
+            co_await p.read(particles_.at(i));
+            pos_[i].x += vel_[i].x;
+            pos_[i].y += vel_[i].y;
+            pos_[i].z += vel_[i].z;
+            auto wrap = [](double &v) {
+                if (v >= 1.0)
+                    v -= 1.0;
+                if (v < 0.0)
+                    v += 1.0;
+            };
+            wrap(pos_[i].x);
+            wrap(pos_[i].y);
+            wrap(pos_[i].z);
+            p.compute(10);
+
+            // Space-cell bookkeeping: the communication hot spot.
+            const std::uint32_t cell = cellOf(pos_[i]);
+            co_await p.read(space_.at(cell));
+            co_await p.write(space_.at(cell));
+
+            // Collision with the previous occupant of the cell.
+            const int partner = lastInCell_[cell];
+            lastInCell_[cell] = static_cast<int>(i);
+            if (partner >= 0 && rng.below(4) == 0) {
+                co_await p.read(
+                    particles_.at(static_cast<std::uint32_t>(partner)));
+                co_await p.write(
+                    particles_.at(static_cast<std::uint32_t>(partner)));
+                std::swap(vel_[i], vel_[static_cast<std::size_t>(partner)]);
+                p.compute(20);
+            }
+            co_await p.write(particles_.at(i));
+        }
+        co_await p.barrier(0);
+    }
+
+    if (tid == 0)
+        co_await p.endParallel();
+}
+
+} // namespace prism

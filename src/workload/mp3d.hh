@@ -1,0 +1,56 @@
+/**
+ * @file
+ * MP3D: rarefied hypersonic airflow simulation (SPLASH-I style).
+ *
+ * Particles advance ballistically through a shared 3-D space-cell
+ * array each timestep; every move reads and writes the particle's
+ * space cell (heavy, poorly localized write sharing — MP3D's
+ * notorious behaviour), and colliding particles update each other.
+ */
+
+#ifndef PRISM_WORKLOAD_MP3D_HH
+#define PRISM_WORKLOAD_MP3D_HH
+
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace prism {
+
+/** MP3D workload (paper: 20,000 particles, 5 iterations). */
+class Mp3dWorkload : public Workload
+{
+  public:
+    struct Params {
+        std::uint32_t particles = 20000;
+        std::uint32_t iters = 5;
+        std::uint32_t gridDim = 16; //!< space array is gridDim^3 cells
+        std::uint64_t seed = 11;
+    };
+
+    Mp3dWorkload() : Mp3dWorkload(Params{}) {}
+    explicit Mp3dWorkload(const Params &p);
+
+    const char *name() const override { return "MP3D"; }
+    std::string sizeDesc() const override;
+    void setup(Machine &m) override;
+    CoTask body(Proc &p, std::uint32_t tid, std::uint32_t nt) override;
+
+  private:
+    struct P3 {
+        double x, y, z;
+    };
+
+    std::uint32_t cellOf(const P3 &pos) const;
+
+    Params params_;
+    SimArray particles_;
+    SimArray space_;
+    std::vector<P3> pos_;
+    std::vector<P3> vel_;
+    std::vector<int> lastInCell_; //!< collision partner per cell
+};
+
+} // namespace prism
+
+#endif // PRISM_WORKLOAD_MP3D_HH

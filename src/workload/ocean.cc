@@ -1,0 +1,112 @@
+#include "workload/ocean.hh"
+
+namespace prism {
+
+OceanWorkload::OceanWorkload(const Params &p) : params_(p)
+{
+    prism_assert(params_.n >= 34, "ocean grid too small");
+}
+
+std::string
+OceanWorkload::sizeDesc() const
+{
+    return std::to_string(params_.n) + "x" + std::to_string(params_.n) +
+           " ocean grid";
+}
+
+void
+OceanWorkload::setup(Machine &m)
+{
+    const std::uint64_t gb =
+        std::uint64_t{params_.n} * params_.n * 8;
+    GlobalArena arena(m, /*key=*/0x0CEA,
+                      kGrids * gb + (kGrids + 2) * kPageBytes);
+    grids_.clear();
+    for (std::uint32_t g = 0; g < kGrids; ++g)
+        grids_.push_back(SimArray{arena.allocPages(gb), 8});
+}
+
+CoTask
+OceanWorkload::relax(Proc &p, std::uint32_t grid, std::uint32_t i0,
+                     std::uint32_t i1, std::uint32_t colour)
+{
+    const std::uint32_t n = params_.n;
+    for (std::uint32_t i = i0; i < i1; ++i) {
+        for (std::uint32_t j = 1 + ((i + colour) & 1); j < n - 1;
+             j += 2) {
+            co_await p.read(at(grid, i - 1, j));
+            co_await p.read(at(grid, i + 1, j));
+            co_await p.read(at(grid, i, j - 1));
+            co_await p.read(at(grid, i, j + 1));
+            co_await p.write(at(grid, i, j));
+            p.compute(6);
+        }
+    }
+}
+
+CoTask
+OceanWorkload::stencil(Proc &p, std::uint32_t src, std::uint32_t dst,
+                       std::uint32_t i0, std::uint32_t i1)
+{
+    const std::uint32_t n = params_.n;
+    for (std::uint32_t i = i0; i < i1; ++i) {
+        for (std::uint32_t j = 1; j < n - 1; ++j) {
+            co_await p.read(at(src, i - 1, j));
+            co_await p.read(at(src, i + 1, j));
+            co_await p.read(at(src, i, j));
+            co_await p.write(at(dst, i, j));
+            p.compute(5);
+        }
+    }
+}
+
+CoTask
+OceanWorkload::body(Proc &p, std::uint32_t tid, std::uint32_t nt)
+{
+    const std::uint32_t n = params_.n;
+    const std::uint32_t interior = n - 2;
+    const std::uint32_t per = interior / nt;
+    const std::uint32_t i0 = 1 + tid * per;
+    const std::uint32_t i1 = (tid + 1 == nt) ? n - 1 : i0 + per;
+
+    // Parallel init: each processor writes its rows of every grid.
+    for (std::uint32_t g = 0; g < kGrids; ++g) {
+        const std::uint32_t lo = (tid == 0) ? 0 : i0;
+        const std::uint32_t hi = (tid + 1 == nt) ? n : i1;
+        for (std::uint32_t i = lo; i < hi; ++i) {
+            for (std::uint32_t j = 0; j < n; ++j) {
+                co_await p.write(at(g, i, j));
+                p.compute(1);
+            }
+        }
+    }
+
+    co_await p.barrier(0);
+    if (tid == 0)
+        co_await p.beginParallel();
+    co_await p.barrier(0);
+
+    for (std::uint32_t t = 0; t < params_.timesteps; ++t) {
+        // Red-black SOR on the two stream-function grids.
+        for (std::uint32_t g = 0; g < 2; ++g) {
+            for (std::uint32_t s = 0; s < params_.relaxSweeps; ++s) {
+                co_await relax(p, g, i0, i1, 0);
+                co_await p.barrier(0);
+                co_await relax(p, g, i0, i1, 1);
+                co_await p.barrier(0);
+            }
+        }
+        // Stencil passes coupling the remaining grids.
+        co_await stencil(p, 0, 2, i0, i1);
+        co_await p.barrier(0);
+        co_await stencil(p, 1, 3, i0, i1);
+        co_await p.barrier(0);
+        co_await stencil(p, 2, 4, i0, i1);
+        co_await p.barrier(0);
+    }
+
+    if (tid == 0)
+        co_await p.endParallel();
+}
+
+} // namespace prism

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ocean: simulation of ocean currents (SPLASH style).
+ *
+ * Models the memory behaviour of the multigrid/SOR core: red-black
+ * Gauss-Seidel relaxation sweeps plus stencil passes over several
+ * n x n grids, partitioned into row blocks per processor.  Boundary
+ * rows are read-shared between neighbouring processors.
+ */
+
+#ifndef PRISM_WORKLOAD_OCEAN_HH
+#define PRISM_WORKLOAD_OCEAN_HH
+
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace prism {
+
+/** Ocean workload (paper: 258x258 ocean grid). */
+class OceanWorkload : public Workload
+{
+  public:
+    struct Params {
+        std::uint32_t n = 258;       //!< grid dimension
+        std::uint32_t timesteps = 4; //!< outer iterations
+        std::uint32_t relaxSweeps = 2;
+    };
+
+    OceanWorkload() : OceanWorkload(Params{}) {}
+    explicit OceanWorkload(const Params &p);
+
+    const char *name() const override { return "Ocean"; }
+    std::string sizeDesc() const override;
+    void setup(Machine &m) override;
+    CoTask body(Proc &p, std::uint32_t tid, std::uint32_t nt) override;
+
+  private:
+    VAddr
+    at(std::uint32_t grid, std::uint32_t i, std::uint32_t j) const
+    {
+        return grids_[grid].at(std::uint64_t{i} * params_.n + j);
+    }
+
+    /** One red-black relaxation sweep of @p grid over owned rows. */
+    CoTask relax(Proc &p, std::uint32_t grid, std::uint32_t i0,
+                 std::uint32_t i1, std::uint32_t colour);
+
+    /** dst = stencil(src) over owned rows. */
+    CoTask stencil(Proc &p, std::uint32_t src, std::uint32_t dst,
+                   std::uint32_t i0, std::uint32_t i1);
+
+    Params params_;
+    static constexpr std::uint32_t kGrids = 5;
+    std::vector<SimArray> grids_;
+};
+
+} // namespace prism
+
+#endif // PRISM_WORKLOAD_OCEAN_HH

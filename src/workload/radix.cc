@@ -1,0 +1,131 @@
+#include "workload/radix.hh"
+
+namespace prism {
+
+RadixWorkload::RadixWorkload(const Params &p) : params_(p)
+{
+    const std::uint32_t lg = LineGeometry::log2i(params_.radix);
+    passes_ = (params_.keyBits + lg - 1) / lg;
+}
+
+std::string
+RadixWorkload::sizeDesc() const
+{
+    return std::to_string(params_.keys) + " integer keys, radix " +
+           std::to_string(params_.radix);
+}
+
+void
+RadixWorkload::setup(Machine &m)
+{
+    const std::uint64_t kb = std::uint64_t{params_.keys} * 8;
+    const std::uint64_t hb =
+        std::uint64_t{m.numProcs()} * params_.radix * 8;
+    GlobalArena arena(m, /*key=*/0x5AD, 2 * kb + hb + 8 * kPageBytes);
+    keysA_ = SimArray{arena.allocPages(kb), 8};
+    keysB_ = SimArray{arena.allocPages(kb), 8};
+    globalHist_ = SimArray{arena.allocPages(hb), 8};
+
+    ranks_.assign(std::uint64_t{m.numProcs()} * params_.radix, 0);
+
+    Rng rng(params_.seed);
+    hostA_.resize(params_.keys);
+    hostB_.resize(params_.keys);
+    for (auto &k : hostA_)
+        k = static_cast<std::uint32_t>(
+            rng.below(1ULL << params_.keyBits));
+}
+
+CoTask
+RadixWorkload::body(Proc &p, std::uint32_t tid, std::uint32_t nt)
+{
+    const std::uint32_t n = params_.keys;
+    const std::uint32_t radix = params_.radix;
+    const std::uint32_t lg = LineGeometry::log2i(radix);
+    const std::uint32_t per = n / nt;
+    const std::uint32_t k0 = tid * per;
+    const std::uint32_t k1 = (tid + 1 == nt) ? n : k0 + per;
+
+    PrivArena priv(p.id());
+    SimArray local_hist{priv.alloc(std::uint64_t{radix} * 8), 8};
+
+    // Parallel init: write the owned slice of the key array.
+    for (std::uint32_t i = k0; i < k1; ++i) {
+        co_await p.write(keysA_.at(i));
+        p.compute(1);
+    }
+
+    co_await p.barrier(0);
+    if (tid == 0)
+        co_await p.beginParallel();
+    co_await p.barrier(0);
+
+    std::vector<std::uint32_t> *src = &hostA_;
+    std::vector<std::uint32_t> *dst = &hostB_;
+    SimArray src_arr = keysA_;
+    SimArray dst_arr = keysB_;
+
+    for (std::uint32_t pass = 0; pass < passes_; ++pass) {
+        const std::uint32_t shift = pass * lg;
+
+        // 1. Local histogram (private accumulation).
+        std::vector<std::uint32_t> hist(radix, 0);
+        for (std::uint32_t i = k0; i < k1; ++i) {
+            co_await p.read(src_arr.at(i));
+            const std::uint32_t d = ((*src)[i] >> shift) & (radix - 1);
+            ++hist[d];
+            co_await p.write(local_hist.at(d));
+            p.compute(2);
+        }
+        // Publish into the shared histogram.
+        for (std::uint32_t d = 0; d < radix; ++d) {
+            co_await p.read(local_hist.at(d));
+            co_await p.write(
+                globalHist_.at(std::uint64_t{tid} * radix + d));
+            ranks_[std::uint64_t{tid} * radix + d] = hist[d];
+        }
+        co_await p.barrier(0);
+
+        // 2. Prefix (tid 0 walks the shared histogram).
+        if (tid == 0) {
+            std::uint64_t sum = 0;
+            for (std::uint32_t d = 0; d < radix; ++d) {
+                for (std::uint32_t t = 0; t < nt; ++t) {
+                    co_await p.read(
+                        globalHist_.at(std::uint64_t{t} * radix + d));
+                    const std::uint64_t c =
+                        ranks_[std::uint64_t{t} * radix + d];
+                    ranks_[std::uint64_t{t} * radix + d] = sum;
+                    sum += c;
+                    co_await p.write(
+                        globalHist_.at(std::uint64_t{t} * radix + d));
+                    p.compute(2);
+                }
+            }
+        }
+        co_await p.barrier(0);
+
+        // 3. Permutation: all-to-all scattered writes.
+        for (std::uint32_t d = 0; d < radix; ++d)
+            co_await p.read(globalHist_.at(std::uint64_t{tid} * radix + d));
+        for (std::uint32_t i = k0; i < k1; ++i) {
+            co_await p.read(src_arr.at(i));
+            const std::uint32_t key = (*src)[i];
+            const std::uint32_t d = (key >> shift) & (radix - 1);
+            const std::uint64_t pos =
+                ranks_[std::uint64_t{tid} * radix + d]++;
+            (*dst)[pos] = key;
+            co_await p.write(dst_arr.at(pos));
+            p.compute(2);
+        }
+        co_await p.barrier(0);
+
+        std::swap(src, dst);
+        std::swap(src_arr, dst_arr);
+    }
+
+    if (tid == 0)
+        co_await p.endParallel();
+}
+
+} // namespace prism

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Radix: parallel radix sort (SPLASH-2 style).
+ *
+ * Each pass over one digit: local histogram of the owned keys
+ * (private), a shared histogram/prefix phase, then the all-to-all
+ * permutation that writes each key to its destination in the other
+ * array — the classic scattered-write communication pattern.  Real
+ * keys are kept host-side so the permutation is genuine.
+ */
+
+#ifndef PRISM_WORKLOAD_RADIX_HH
+#define PRISM_WORKLOAD_RADIX_HH
+
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace prism {
+
+/** Radix workload (paper: 1M integer keys, radix 1K). */
+class RadixWorkload : public Workload
+{
+  public:
+    struct Params {
+        std::uint32_t keys = 1u << 20; //!< number of keys
+        std::uint32_t radix = 1024;
+        std::uint32_t keyBits = 30;
+        std::uint64_t seed = 42;
+    };
+
+    RadixWorkload() : RadixWorkload(Params{}) {}
+    explicit RadixWorkload(const Params &p);
+
+    const char *name() const override { return "Radix"; }
+    std::string sizeDesc() const override;
+    void setup(Machine &m) override;
+    CoTask body(Proc &p, std::uint32_t tid, std::uint32_t nt) override;
+
+    /** Host-side sorted keys after a run (correctness checking). */
+    const std::vector<std::uint32_t> &
+    result() const
+    {
+        return (passes_ % 2 == 0) ? hostA_ : hostB_;
+    }
+
+  private:
+    Params params_;
+    std::uint32_t passes_ = 0;
+    SimArray keysA_;
+    SimArray keysB_;
+    SimArray globalHist_; //!< nt x radix shared histogram
+    std::vector<std::uint32_t> hostA_; //!< real keys (host side)
+    std::vector<std::uint32_t> hostB_;
+    std::vector<std::uint64_t> ranks_; //!< per-(tid,digit) ranks
+};
+
+} // namespace prism
+
+#endif // PRISM_WORKLOAD_RADIX_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Water: molecular dynamics of water (both SPLASH variants).
+ *
+ * Water-Nsq is the O(n^2) all-pairs version: every owned molecule
+ * reads every other molecule's position and, within the cutoff,
+ * updates the partner's force accumulator under a per-molecule lock.
+ * Water-Spa is the O(n) spatial version: a cell list restricts
+ * interactions to the 27 neighbouring boxes, so sharing is
+ * neighbour-local.
+ */
+
+#ifndef PRISM_WORKLOAD_WATER_HH
+#define PRISM_WORKLOAD_WATER_HH
+
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace prism {
+
+/** Common parameters of both Water variants. */
+struct WaterParams {
+    std::uint32_t molecules = 512;
+    std::uint32_t iters = 3;
+    double cutoff = 0.25; //!< interaction range in the unit box
+    std::uint64_t seed = 23;
+    std::uint32_t pairCompute = 400; //!< cycles per accepted pair
+};
+
+/** Shared machinery of the two variants. */
+class WaterBase : public Workload
+{
+  public:
+    explicit WaterBase(const WaterParams &p) : params_(p) {}
+
+    std::string sizeDesc() const override;
+    void setup(Machine &m) override;
+
+  protected:
+    struct P3 {
+        double x, y, z;
+    };
+
+    double dist2(std::uint32_t i, std::uint32_t j) const;
+
+    /** Intra-molecule phase + position update for owned molecules. */
+    CoTask intraAndUpdate(Proc &p, std::uint32_t m0, std::uint32_t m1);
+
+    WaterParams params_;
+    SimArray mols_;   //!< molecule records (2 lines each)
+    SimArray forces_; //!< force accumulators (1 line each)
+    std::vector<P3> pos_;
+};
+
+/** O(n^2) all-pairs water (paper: 512 molecules, 3 iters). */
+class WaterNsqWorkload : public WaterBase
+{
+  public:
+    explicit WaterNsqWorkload(const WaterParams &p = WaterParams()) : WaterBase(p) {}
+
+    const char *name() const override { return "Water-Nsq"; }
+    CoTask body(Proc &p, std::uint32_t tid, std::uint32_t nt) override;
+};
+
+/** O(n) spatial cell-list water (paper: 512 molecules, 3 iters). */
+class WaterSpaWorkload : public WaterBase
+{
+  public:
+    explicit WaterSpaWorkload(const WaterParams &p = WaterParams()) : WaterBase(p) {}
+
+    const char *name() const override { return "Water-Spa"; }
+    CoTask body(Proc &p, std::uint32_t tid, std::uint32_t nt) override;
+
+  private:
+    std::uint32_t boxOf(const P3 &pos, std::uint32_t dim) const;
+};
+
+} // namespace prism
+
+#endif // PRISM_WORKLOAD_WATER_HH

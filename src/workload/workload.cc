@@ -1,0 +1,14 @@
+#include "workload/workload.hh"
+
+namespace prism {
+
+RunMetrics
+runWorkload(Machine &m, Workload &w)
+{
+    w.setup(m);
+    const std::uint32_t n = m.numProcs();
+    m.run([&w, n](Proc &p) { return w.body(p, p.id(), n); });
+    return m.metrics();
+}
+
+} // namespace prism

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Workload framework.
+ *
+ * A Workload is an execution-driven reference generator: it performs
+ * the real data-access pattern of an application (the same arrays,
+ * index math, sharing structure and synchronization as the SPLASH
+ * kernel it models) and emits loads/stores into the simulated shared
+ * virtual address space.  Control-flow-relevant data (particle
+ * positions, tree topology, keys) is kept in host memory by the
+ * workload object so that traversals and permutations are real, while
+ * the simulator tracks only addresses and coherence.
+ *
+ * Conventions:
+ *  - the shared global segment is attached at VSID 1 on every node,
+ *  - each processor's private data lives in VSID (0x100 + procId),
+ *    which is never bound to a global segment,
+ *  - processor 0 calls beginParallel()/endParallel() around the
+ *    measured phase, bracketed by barriers.
+ */
+
+#ifndef PRISM_WORKLOAD_WORKLOAD_HH
+#define PRISM_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/machine.hh"
+#include "core/proc.hh"
+#include "sim/rng.hh"
+#include "sim/task.hh"
+
+namespace prism {
+
+/** VSID of the shared global segment. */
+constexpr std::uint64_t kSharedVsid = 1;
+/** Base VSID of per-processor private regions. */
+constexpr std::uint64_t kPrivateVsidBase = 0x100;
+
+/** A bump allocator inside the shared global segment. */
+class GlobalArena
+{
+  public:
+    /** Create/attach the segment on every node. */
+    GlobalArena(Machine &m, std::uint64_t key, std::uint64_t bytes)
+    {
+        std::uint64_t gsid = m.shmget(key, bytes);
+        m.shmatAll(kSharedVsid, gsid);
+        base_ = kSharedVsid << kSegShift;
+        limit_ = bytes;
+    }
+
+    /** Allocate @p bytes, aligned to @p align (default: line). */
+    VAddr
+    alloc(std::uint64_t bytes, std::uint64_t align = 64)
+    {
+        off_ = (off_ + align - 1) & ~(align - 1);
+        prism_assert(off_ + bytes <= limit_, "global arena exhausted");
+        VAddr va{base_ + off_};
+        off_ += bytes;
+        return va;
+    }
+
+    /** Allocate page-aligned (fresh page), as malloc does for arrays. */
+    VAddr
+    allocPages(std::uint64_t bytes)
+    {
+        return alloc(bytes, kPageBytes);
+    }
+
+    std::uint64_t used() const { return off_; }
+
+  private:
+    std::uint64_t base_ = 0;
+    std::uint64_t off_ = 0;
+    std::uint64_t limit_ = 0;
+};
+
+/** Private region of one processor. */
+class PrivArena
+{
+  public:
+    explicit PrivArena(ProcId p)
+        : base_((kPrivateVsidBase + p) << kSegShift)
+    {
+    }
+
+    VAddr
+    alloc(std::uint64_t bytes, std::uint64_t align = 64)
+    {
+        off_ = (off_ + align - 1) & ~(align - 1);
+        VAddr va{base_ + off_};
+        off_ += bytes;
+        return va;
+    }
+
+  private:
+    std::uint64_t base_;
+    std::uint64_t off_ = 0;
+};
+
+/** A typed view over a simulated array. */
+struct SimArray {
+    VAddr base{};
+    std::uint64_t elemBytes = 8;
+
+    VAddr
+    at(std::uint64_t i) const
+    {
+        return VAddr{base.raw + i * elemBytes};
+    }
+};
+
+/** Interface implemented by each application. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Application name as in the paper's Table 2. */
+    virtual const char *name() const = 0;
+
+    /** Problem-size description (Table 2 reproduction). */
+    virtual std::string sizeDesc() const = 0;
+
+    /** Create segments and compute the layout (no simulated time). */
+    virtual void setup(Machine &m) = 0;
+
+    /** The per-processor program. */
+    virtual CoTask body(Proc &p, std::uint32_t tid,
+                        std::uint32_t nthreads) = 0;
+};
+
+/**
+ * Run @p w on @p m to completion and return the metrics.
+ * setup() is called first; each processor runs body().
+ */
+RunMetrics runWorkload(Machine &m, Workload &w);
+
+} // namespace prism
+
+#endif // PRISM_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for address types and line geometry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/addr.hh"
+
+namespace prism {
+namespace {
+
+TEST(Addr, VirtualComposeDecompose)
+{
+    VAddr va = makeVAddr(7, 123, 456);
+    EXPECT_EQ(va.vsid(), 7u);
+    EXPECT_EQ(va.offset(), 456u);
+    EXPECT_EQ(va.page(), (7ULL << kPageNumBits) | 123u);
+}
+
+TEST(Addr, GlobalComposeDecompose)
+{
+    GAddr ga = makeGAddr(3, 99, 17);
+    EXPECT_EQ(ga.gsid(), 3u);
+    EXPECT_EQ(ga.offset(), 17u);
+    EXPECT_EQ(ga.page(), (3ULL << kPageNumBits) | 99u);
+}
+
+TEST(Addr, PhysicalComposeDecompose)
+{
+    PAddr pa = makePAddr(42, 4095);
+    EXPECT_EQ(pa.frame(), 42u);
+    EXPECT_EQ(pa.offset(), 4095u);
+    EXPECT_EQ(makePAddr(43, 0).raw, pa.raw + 1);
+}
+
+TEST(Addr, PageBoundaries)
+{
+    VAddr a = makeVAddr(1, 5, kPageBytes - 1);
+    VAddr b = makeVAddr(1, 6, 0);
+    EXPECT_EQ(a.page() + 1, b.page());
+    EXPECT_EQ(a.raw + 1, b.raw);
+}
+
+class LineGeometryTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(LineGeometryTest, RoundTripsLineIds)
+{
+    const std::uint32_t line_bytes = GetParam();
+    LineGeometry geo(line_bytes);
+    EXPECT_EQ(geo.lineBytes(), line_bytes);
+    EXPECT_EQ(geo.linesPerPage() * line_bytes, kPageBytes);
+
+    const GPage gp = 0x123456;
+    for (std::uint32_t idx = 0; idx < geo.linesPerPage();
+         idx += geo.linesPerPage() / 8 + 1) {
+        GLine gl = geo.lineOf(gp, idx);
+        EXPECT_EQ(geo.pageOf(gl), gp);
+        EXPECT_EQ(geo.indexOf(gl), idx);
+    }
+}
+
+TEST_P(LineGeometryTest, LineIndexFromOffset)
+{
+    LineGeometry geo(GetParam());
+    EXPECT_EQ(geo.lineIndex(0), 0u);
+    EXPECT_EQ(geo.lineIndex(GetParam()), 1u);
+    EXPECT_EQ(geo.lineIndex(kPageBytes - 1), geo.linesPerPage() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(LineSizes, LineGeometryTest,
+                         ::testing::Values(16u, 32u, 64u, 128u));
+
+TEST(LineGeometry, ConsecutiveAddressesShareLines)
+{
+    LineGeometry geo(64);
+    GAddr a = makeGAddr(1, 0, 0);
+    GAddr b = makeGAddr(1, 0, 63);
+    GAddr c = makeGAddr(1, 0, 64);
+    EXPECT_EQ(geo.lineOf(a), geo.lineOf(b));
+    EXPECT_EQ(geo.lineOf(a) + 1, geo.lineOf(c));
+}
+
+TEST(LineGeometry, Log2i)
+{
+    EXPECT_EQ(LineGeometry::log2i(1), 0u);
+    EXPECT_EQ(LineGeometry::log2i(64), 6u);
+    EXPECT_EQ(LineGeometry::log2i(4096), 12u);
+}
+
+} // namespace
+} // namespace prism

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Death tests: internal-invariant violations must panic loudly
+ * (gem5-style panic = abort), and user errors must be caught.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "core/sync.hh"
+#include "os/frame_pool.hh"
+#include "sim/event_queue.hh"
+#include "workload/workload.hh"
+
+namespace prism {
+namespace {
+
+TEST(Death, SchedulingInThePastPanics)
+{
+    EXPECT_DEATH(
+        {
+            EventQueue eq;
+            eq.schedule(10, [] {});
+            eq.runOne();
+            eq.schedule(5, [] {});
+        },
+        "scheduled in the past");
+}
+
+TEST(Death, ReleasingUnheldLockPanics)
+{
+    EXPECT_DEATH(
+        {
+            EventQueue eq;
+            LockManager lm(eq, 1, 1);
+            lm.release(42);
+        },
+        "unheld lock");
+}
+
+TEST(Death, GlobalArenaExhaustionPanics)
+{
+    EXPECT_DEATH(
+        {
+            MachineConfig cfg;
+            cfg.numNodes = 2;
+            cfg.procsPerNode = 1;
+            Machine m(cfg);
+            GlobalArena arena(m, 1, 2 * kPageBytes);
+            arena.alloc(kPageBytes);
+            arena.alloc(kPageBytes);
+            arena.alloc(1); // over the segment size
+        },
+        "arena exhausted");
+}
+
+TEST(Death, EmptyCoTaskStartPanics)
+{
+    EXPECT_DEATH(
+        {
+            CoTask t;
+            t.start();
+        },
+        "empty CoTask");
+}
+
+TEST(Death, FramePoolDoubleReleasePanics)
+{
+    EXPECT_DEATH(
+        {
+            FramePool p(0);
+            p.release(0); // nothing was allocated
+        },
+        "empty pool");
+}
+
+TEST(Death, TooManyNodesIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            MachineConfig cfg;
+            cfg.numNodes = 100; // sharer bitmasks are 64-bit
+            Machine m(cfg);
+        },
+        "node count");
+}
+
+} // namespace
+} // namespace prism

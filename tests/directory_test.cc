@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the full-map directory and fine-grain tags.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/directory.hh"
+#include "coherence/fine_grain_tags.hh"
+
+namespace prism {
+namespace {
+
+TEST(Directory, CreatePageOwned)
+{
+    Directory d(8192, 2, 22, 64);
+    d.createPage(0x10, DirState::Owned, 3);
+    ASSERT_TRUE(d.hasPage(0x10));
+    DirEntry *e = d.line(0x10, 0);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->state, DirState::Owned);
+    EXPECT_EQ(e->owner, 3u);
+    EXPECT_EQ(d.line(0x10, 63)->owner, 3u);
+}
+
+TEST(Directory, SharerBitmaskOps)
+{
+    DirEntry e;
+    e.state = DirState::Shared;
+    e.addSharer(0);
+    e.addSharer(5);
+    e.addSharer(63);
+    EXPECT_TRUE(e.isSharer(5));
+    EXPECT_FALSE(e.isSharer(4));
+    EXPECT_EQ(e.sharerCount(), 3u);
+    e.removeSharer(5);
+    EXPECT_FALSE(e.isSharer(5));
+    EXPECT_EQ(e.sharerCount(), 2u);
+}
+
+TEST(Directory, RemovePage)
+{
+    Directory d(8192, 2, 22, 64);
+    d.createPage(0x10, DirState::Uncached, 0);
+    d.removePage(0x10);
+    EXPECT_FALSE(d.hasPage(0x10));
+    EXPECT_EQ(d.line(0x10, 0), nullptr);
+}
+
+TEST(Directory, ReleaseAndAdoptMovesEntriesVerbatim)
+{
+    Directory a(8192, 2, 22, 64);
+    Directory b(8192, 2, 22, 64);
+    a.createPage(0x10, DirState::Owned, 2);
+    a.line(0x10, 7)->state = DirState::Shared;
+    a.line(0x10, 7)->sharers = 0x15;
+    auto entries = a.releasePage(0x10);
+    EXPECT_FALSE(a.hasPage(0x10));
+    b.adoptPage(0x10, std::move(entries));
+    ASSERT_TRUE(b.hasPage(0x10));
+    EXPECT_EQ(b.line(0x10, 7)->sharers, 0x15u);
+    EXPECT_EQ(b.line(0x10, 0)->owner, 2u);
+}
+
+TEST(Directory, CacheTimingHitAfterMiss)
+{
+    Directory d(8, 2, 22, 64); // tiny cache: 8 entries
+    d.createPage(0, DirState::Uncached, 0);
+    EXPECT_EQ(d.access(100), 22u); // cold miss
+    EXPECT_EQ(d.access(100), 2u);  // now cached
+    EXPECT_EQ(d.access(108), 22u); // conflicting index (100 & 7 == 108 & 7 ? no)
+    EXPECT_EQ(d.lookups(), 3u);
+    EXPECT_EQ(d.cacheHits(), 1u);
+}
+
+TEST(Directory, CacheConflictEvicts)
+{
+    Directory d(8, 2, 22, 64);
+    EXPECT_EQ(d.access(0), 22u);
+    EXPECT_EQ(d.access(8), 22u); // same index, evicts tag 0
+    EXPECT_EQ(d.access(0), 22u); // miss again
+}
+
+TEST(FineGrainTags, InitAndCount)
+{
+    FrameTags t(64, FgTag::Invalid);
+    EXPECT_EQ(t.lines(), 64u);
+    EXPECT_EQ(t.count(FgTag::Invalid), 64u);
+    t.set(3, FgTag::Exclusive);
+    t.set(9, FgTag::Shared);
+    EXPECT_EQ(t.count(FgTag::Invalid), 62u);
+    EXPECT_EQ(t.count(FgTag::Exclusive), 1u);
+    EXPECT_FALSE(t.anyTransit());
+    t.set(10, FgTag::Transit);
+    EXPECT_TRUE(t.anyTransit());
+}
+
+TEST(FineGrainTags, FillResets)
+{
+    FrameTags t(32, FgTag::Exclusive);
+    EXPECT_EQ(t.count(FgTag::Exclusive), 32u);
+    t.fill(FgTag::Invalid);
+    EXPECT_EQ(t.count(FgTag::Invalid), 32u);
+}
+
+TEST(DirectoryNames, StateNames)
+{
+    EXPECT_STREQ(dirStateName(DirState::Uncached), "U");
+    EXPECT_STREQ(dirStateName(DirState::Shared), "S");
+    EXPECT_STREQ(dirStateName(DirState::Owned), "O");
+    EXPECT_STREQ(fgTagName(FgTag::Transit), "T");
+}
+
+} // namespace
+} // namespace prism

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the deterministic event queue and FCFS resources.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace prism {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.eventsExecuted(), 3u);
+}
+
+TEST(EventQueue, TiesBreakInSchedulingOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.runAll();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsMayScheduleAtSameTick)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(7, [&] {
+        eq.scheduleIn(0, [&] { ++fired; });
+    });
+    eq.runAll();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 7u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.schedule(21, [&] { ++fired; });
+    eq.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, RunWhileStopsWhenPredicateHolds)
+{
+    EventQueue eq;
+    int count = 0;
+    for (Tick t = 1; t <= 100; ++t)
+        eq.schedule(t, [&] { ++count; });
+    bool done = eq.runWhile([&] { return count >= 42; });
+    EXPECT_TRUE(done);
+    EXPECT_EQ(count, 42);
+}
+
+TEST(EventQueue, RunWhileReportsDrainWithoutSatisfaction)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1, [&] { ++count; });
+    EXPECT_FALSE(eq.runWhile([&] { return count >= 5; }));
+    EXPECT_EQ(count, 1);
+}
+
+TEST(EventQueue, RunOneOnEmptyReturnsFalse)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(FcfsResource, UncontendedStartsImmediately)
+{
+    FcfsResource r;
+    EXPECT_EQ(r.acquire(100, 10), 100u);
+    EXPECT_EQ(r.nextFree(), 110u);
+}
+
+TEST(FcfsResource, BackToBackQueues)
+{
+    FcfsResource r;
+    EXPECT_EQ(r.acquire(0, 10), 0u);
+    EXPECT_EQ(r.acquire(0, 10), 10u);
+    EXPECT_EQ(r.acquire(5, 10), 20u);
+    EXPECT_EQ(r.busyCycles(), 30u);
+    EXPECT_EQ(r.grants(), 3u);
+}
+
+TEST(FcfsResource, IdleGapThenService)
+{
+    FcfsResource r;
+    r.acquire(0, 10);
+    EXPECT_EQ(r.acquire(50, 5), 50u);
+    EXPECT_EQ(r.nextFree(), 55u);
+}
+
+} // namespace
+} // namespace prism

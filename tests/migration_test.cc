@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Lazy page migration tests (paper Section 3.5).
+ *
+ * The dynamic home of a page moves without any global coordination:
+ * the static home coordinates only with the old and new dynamic
+ * homes, misdirected requests are forwarded through the static home,
+ * and clients lazily update their PIT hints from responses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "workload/workload.hh"
+
+namespace prism {
+namespace {
+
+constexpr std::uint64_t kKey = 0x316;
+
+struct Rig {
+    explicit Rig(MachineConfig cfg) : m(cfg)
+    {
+        gsid = m.shmget(kKey, 64 * kPageBytes);
+        m.shmatAll(kSharedVsid, gsid);
+    }
+
+    VAddr
+    va(std::uint64_t pnum, std::uint64_t off = 0) const
+    {
+        return makeVAddr(kSharedVsid, pnum, off);
+    }
+
+    GPage
+    gp(std::uint64_t pnum) const
+    {
+        return (gsid << kPageNumBits) | pnum;
+    }
+
+    Machine m;
+    std::uint64_t gsid = 0;
+};
+
+MachineConfig
+migCfg()
+{
+    MachineConfig cfg;
+    cfg.numNodes = 4;
+    cfg.procsPerNode = 2;
+    cfg.migrationEnabled = true;
+    cfg.migrationThreshold = 32;
+    return cfg;
+}
+
+TEST(Migration, DominantRemoteAccessorBecomesHome)
+{
+    Rig rig(migCfg());
+    // Page 0 is statically homed at node 0.  Node 1 hammers it with
+    // writes that keep missing (large stride across many lines and
+    // alternating lines to defeat the cache).
+    rig.m.run([&](Proc &p) -> CoTask {
+        return [](Proc &pp, Rig &r) -> CoTask {
+            if (pp.id() == 0) {
+                co_await pp.write(r.va(0)); // materialize at home 0
+            }
+            co_await pp.barrier(1);
+            if (pp.id() / 2 == 1) { // both procs of node 1
+                for (int rep = 0; rep < 40; ++rep) {
+                    for (int l = 0; l < 64; l += 2) {
+                        co_await pp.write(
+                            r.va(0, static_cast<std::uint64_t>(l) * 64));
+                        co_await pp.write(r.va(
+                            1, static_cast<std::uint64_t>(l) * 64));
+                    }
+                }
+            }
+        }(p, rig);
+    });
+
+    // Node 1 should have become the dynamic home of page 0.
+    EXPECT_TRUE(rig.m.node(1).controller().isDynHome(rig.gp(0)))
+        << "page did not migrate to the dominant accessor";
+    EXPECT_FALSE(rig.m.node(0).controller().isDynHome(rig.gp(0)));
+    EXPECT_GE(rig.m.node(0).controller().stats().migrationsOut, 1u);
+    EXPECT_GE(rig.m.node(1).controller().stats().migrationsIn, 1u);
+    // The static home's registry points at the new dynamic home.
+    EXPECT_EQ(rig.m.node(0).controller().registryLookup(rig.gp(0)), 1u);
+}
+
+TEST(Migration, StaleClientsAreForwardedAndRecover)
+{
+    Rig rig(migCfg());
+    rig.m.run([&](Proc &p) -> CoTask {
+        return [](Proc &pp, Rig &r) -> CoTask {
+            // Node 2 reads the page early (PIT hint: dyn home = 0).
+            if (pp.id() == 4)
+                co_await pp.read(r.va(0));
+            co_await pp.barrier(1);
+            // Node 1 hammers until migration triggers.
+            if (pp.id() / 2 == 1) {
+                for (int rep = 0; rep < 40; ++rep) {
+                    for (int l = 0; l < 64; l += 2) {
+                        co_await pp.write(
+                            r.va(0, static_cast<std::uint64_t>(l) * 64));
+                        co_await pp.write(r.va(
+                            1, static_cast<std::uint64_t>(l) * 64));
+                    }
+                }
+            }
+            co_await pp.barrier(2);
+            // Node 2 accesses again through its stale hint.
+            if (pp.id() == 4) {
+                for (int l = 0; l < 64; ++l) {
+                    co_await pp.read(
+                        r.va(0, static_cast<std::uint64_t>(l) * 64));
+                }
+            }
+        }(p, rig);
+    });
+
+    // The page migrated away from its static home (possibly more than
+    // once — node 2's second burst may pull it again); exactly one
+    // node is the dynamic home, and misdirected requests were
+    // forwarded through the static home.
+    std::uint32_t homes = 0;
+    NodeId dyn_home = kInvalidNode;
+    std::uint64_t fwd = 0;
+    std::uint64_t migrations = 0;
+    for (NodeId n = 0; n < 4; ++n) {
+        auto &c = rig.m.node(n).controller();
+        if (c.isDynHome(rig.gp(0))) {
+            ++homes;
+            dyn_home = n;
+        }
+        fwd += c.stats().forwards;
+        migrations += c.stats().migrationsOut;
+    }
+    ASSERT_EQ(homes, 1u);
+    EXPECT_NE(dyn_home, 0u) << "page never migrated";
+    EXPECT_GE(migrations, 1u);
+    EXPECT_GE(fwd, 1u);
+    // The static home's registry tracks the current dynamic home.
+    EXPECT_EQ(rig.m.node(0).controller().registryLookup(rig.gp(0)),
+              dyn_home);
+}
+
+TEST(Migration, DisabledByDefault)
+{
+    MachineConfig cfg;
+    cfg.numNodes = 4;
+    cfg.procsPerNode = 2;
+    ASSERT_FALSE(cfg.migrationEnabled);
+    Rig rig(cfg);
+    rig.m.run([&](Proc &p) -> CoTask {
+        return [](Proc &pp, Rig &r) -> CoTask {
+            if (pp.id() / 2 == 1) {
+                for (int rep = 0; rep < 60; ++rep) {
+                    for (int l = 0; l < 64; l += 4) {
+                        co_await pp.write(
+                            r.va(0, static_cast<std::uint64_t>(l) * 64));
+                    }
+                }
+            }
+            co_return;
+        }(p, rig);
+    });
+    EXPECT_TRUE(rig.m.node(0).controller().isDynHome(rig.gp(0)));
+    EXPECT_EQ(rig.m.node(0).controller().stats().migrationsOut, 0u);
+}
+
+TEST(Migration, ExplicitRequestMovesCleanPage)
+{
+    Rig rig(migCfg());
+    rig.m.run([&](Proc &p) -> CoTask {
+        return [](Proc &pp, Rig &r) -> CoTask {
+            if (pp.id() == 0)
+                co_await pp.write(r.va(0));
+            co_return;
+        }(p, rig);
+    });
+    // Directly request a migration of page 0 to node 3.
+    rig.m.node(0).controller().requestMigration(rig.gp(0), 3);
+    rig.m.eventQueue().runAll();
+    EXPECT_TRUE(rig.m.node(3).controller().isDynHome(rig.gp(0)));
+    EXPECT_FALSE(rig.m.node(0).controller().isDynHome(rig.gp(0)));
+    EXPECT_EQ(rig.m.node(0).controller().registryLookup(rig.gp(0)), 3u);
+    // And it can be used afterwards: a later access works fine.
+    rig.m.run([&](Proc &p) -> CoTask {
+        return [](Proc &pp, Rig &r) -> CoTask {
+            if (pp.id() == 4)
+                co_await pp.read(r.va(0));
+            co_return;
+        }(p, rig);
+    });
+}
+
+} // namespace
+} // namespace prism

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Unit tests for frame pools, the page table and the IPC server.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/frame_pool.hh"
+#include "os/ipc_server.hh"
+#include "os/page_table.hh"
+
+namespace prism {
+namespace {
+
+TEST(FramePool, AllocatesDistinctFrames)
+{
+    FramePool p(0);
+    FrameNum a = p.alloc();
+    FrameNum b = p.alloc();
+    EXPECT_NE(a, b);
+    EXPECT_EQ(p.live(), 2u);
+    EXPECT_EQ(p.cumulative(), 2u);
+}
+
+TEST(FramePool, RecyclesReleasedFrames)
+{
+    FramePool p(0);
+    FrameNum a = p.alloc();
+    p.release(a);
+    EXPECT_EQ(p.live(), 0u);
+    FrameNum b = p.alloc();
+    EXPECT_EQ(b, a);
+    EXPECT_EQ(p.cumulative(), 2u);
+    EXPECT_EQ(p.peak(), 1u);
+}
+
+TEST(FramePool, CapacityBound)
+{
+    FramePool p(0, 2);
+    EXPECT_NE(p.alloc(), kInvalidFrame);
+    EXPECT_NE(p.alloc(), kInvalidFrame);
+    EXPECT_EQ(p.alloc(), kInvalidFrame);
+    p.release(0);
+    EXPECT_NE(p.alloc(), kInvalidFrame);
+}
+
+TEST(FramePool, PeakTracksHighWater)
+{
+    FramePool p(0);
+    FrameNum a = p.alloc();
+    FrameNum b = p.alloc();
+    FrameNum c = p.alloc();
+    p.release(a);
+    p.release(b);
+    p.release(c);
+    p.alloc();
+    EXPECT_EQ(p.peak(), 3u);
+}
+
+TEST(FramePool, ImaginaryRangeDisjointFromReal)
+{
+    FramePool real(0);
+    FramePool imag(kImaginaryFrameBase);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LT(real.alloc(), kImaginaryFrameBase);
+    EXPECT_GE(imag.alloc(), kImaginaryFrameBase);
+}
+
+TEST(PageTable, MapUnmapLookup)
+{
+    PageTable pt;
+    EXPECT_EQ(pt.lookup(10), nullptr);
+    pt.map(10, 99, PageMode::LaNuma);
+    ASSERT_NE(pt.lookup(10), nullptr);
+    EXPECT_EQ(pt.lookup(10)->frame, 99u);
+    EXPECT_EQ(pt.lookup(10)->mode, PageMode::LaNuma);
+    EXPECT_TRUE(pt.mapped(10));
+    pt.unmap(10);
+    EXPECT_FALSE(pt.mapped(10));
+    EXPECT_EQ(pt.size(), 0u);
+}
+
+TEST(IpcServer, ShmgetIsIdempotentPerKey)
+{
+    IpcServer ipc;
+    std::uint64_t a = ipc.shmget(0xAB, 1 << 20);
+    std::uint64_t b = ipc.shmget(0xAB, 1 << 20);
+    std::uint64_t c = ipc.shmget(0xCD, 4096);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(ipc.numSegments(), 2u);
+}
+
+TEST(IpcServer, SegmentMetadata)
+{
+    IpcServer ipc;
+    std::uint64_t g = ipc.shmget(1, 3 * kPageBytes + 1);
+    const GlobalSegment *s = ipc.segment(g);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->pages, 4u); // rounded up
+    ipc.shmatAttach(g);
+    ipc.shmatAttach(g);
+    EXPECT_EQ(ipc.segment(g)->attachCount, 2u);
+    EXPECT_EQ(ipc.segment(999), nullptr);
+}
+
+TEST(IpcServer, GsidZeroReserved)
+{
+    IpcServer ipc;
+    EXPECT_GE(ipc.shmget(5, 64), 1u);
+}
+
+} // namespace
+} // namespace prism

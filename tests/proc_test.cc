@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Processor-model tests: fast-path cache behaviour, intra-node
+ * cache-to-cache transfers, local upgrades, and run-ahead bounding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+#include "workload/workload.hh"
+
+namespace prism {
+namespace {
+
+constexpr std::uint64_t kKey = 0x9C;
+
+struct Rig {
+    Rig() : m(makeCfg())
+    {
+        gsid = m.shmget(kKey, 16 * kPageBytes);
+        m.shmatAll(kSharedVsid, gsid);
+    }
+
+    static MachineConfig
+    makeCfg()
+    {
+        MachineConfig cfg;
+        cfg.numNodes = 2;
+        cfg.procsPerNode = 4;
+        return cfg;
+    }
+
+    VAddr
+    va(std::uint64_t pnum, std::uint64_t off = 0) const
+    {
+        return makeVAddr(kSharedVsid, pnum, off);
+    }
+
+    Machine m;
+    std::uint64_t gsid = 0;
+};
+
+TEST(Proc, FastPathHitsGenerateNoEvents)
+{
+    Rig rig;
+    rig.m.run([&](Proc &p) -> CoTask {
+        return [](Proc &pp, Rig &r) -> CoTask {
+            if (pp.id() != 0)
+                co_return;
+            co_await pp.write(r.va(0)); // fault + miss
+            const std::uint64_t events_before =
+                r.m.eventQueue().eventsExecuted();
+            // 100 L1 hits: pure local accounting.
+            for (int i = 0; i < 100; ++i)
+                co_await pp.read(r.va(0));
+            EXPECT_EQ(r.m.eventQueue().eventsExecuted(), events_before);
+            EXPECT_GE(pp.stats().l1Hits, 100u);
+        }(p, rig);
+    });
+}
+
+TEST(Proc, WriteToExclusiveIsSilent)
+{
+    Rig rig;
+    rig.m.run([&](Proc &p) -> CoTask {
+        return [](Proc &pp, Rig &r) -> CoTask {
+            if (pp.id() != 0)
+                co_return;
+            co_await pp.read(r.va(0)); // E grant at home
+            const std::uint64_t misses = pp.stats().l2Misses;
+            co_await pp.write(r.va(0)); // E -> M, no bus activity
+            EXPECT_EQ(pp.stats().l2Misses, misses);
+            EXPECT_EQ(pp.l1().lookup((pp.tlb().lookup(r.va(0).page())
+                                      << kPageShift)),
+                      Mesi::Modified);
+        }(p, rig);
+    });
+}
+
+TEST(Proc, PeerSupplyWithinNode)
+{
+    Rig rig;
+    rig.m.run([&](Proc &p) -> CoTask {
+        return [](Proc &pp, Rig &r) -> CoTask {
+            // Proc 0 dirties a line; proc 1 (same node) reads it.
+            if (pp.id() == 0)
+                co_await pp.write(r.va(0));
+            co_await pp.barrier(1);
+            if (pp.id() == 1) {
+                const std::uint64_t remote_before =
+                    r.m.node(0).controller().stats().remoteMisses;
+                co_await pp.read(r.va(0));
+                // Served by the peer cache, not the network.
+                EXPECT_EQ(
+                    r.m.node(0).controller().stats().remoteMisses,
+                    remote_before);
+                FrameNum f = pp.tlb().lookup(r.va(0).page());
+                EXPECT_EQ(pp.l2().lookup(f << kPageShift),
+                          Mesi::Shared);
+            }
+        }(p, rig);
+    });
+    // Both copies are now Shared (M was downgraded).
+    Proc &p0 = rig.m.node(0).proc(0);
+    FrameNum f = p0.tlb().lookup(rig.va(0).page());
+    ASSERT_NE(f, kInvalidFrame);
+    EXPECT_EQ(p0.l2().lookup(f << kPageShift), Mesi::Shared);
+}
+
+TEST(Proc, WriteTakesPeerCopyWithinNode)
+{
+    Rig rig;
+    rig.m.run([&](Proc &p) -> CoTask {
+        return [](Proc &pp, Rig &r) -> CoTask {
+            if (pp.id() == 0)
+                co_await pp.write(r.va(0));
+            co_await pp.barrier(1);
+            if (pp.id() == 1)
+                co_await pp.write(r.va(0)); // c2c + invalidate peer
+        }(p, rig);
+    });
+    Proc &p0 = rig.m.node(0).proc(0);
+    Proc &p1 = rig.m.node(0).proc(1);
+    FrameNum f = p1.tlb().lookup(rig.va(0).page());
+    ASSERT_NE(f, kInvalidFrame);
+    EXPECT_EQ(p1.l2().lookup(f << kPageShift), Mesi::Modified);
+    EXPECT_EQ(p0.l2().lookup(f << kPageShift), Mesi::Invalid);
+}
+
+TEST(Proc, RunAheadIsBounded)
+{
+    Rig rig;
+    rig.m.run([&](Proc &p) -> CoTask {
+        return [](Proc &pp, Rig &r) -> CoTask {
+            if (pp.id() != 0)
+                co_return;
+            co_await pp.write(r.va(0));
+            // A long pure-compute stretch must not let local time run
+            // arbitrarily far ahead of the global clock.
+            for (int i = 0; i < 100; ++i) {
+                pp.compute(100);
+                co_await pp.read(r.va(0)); // L1 hits
+            }
+            EXPECT_LE(pp.pendingCycles(),
+                      r.m.config().runAheadQuantum + 200);
+        }(p, rig);
+    });
+}
+
+TEST(Proc, ComputeAccumulatesStats)
+{
+    Rig rig;
+    rig.m.run([&](Proc &p) -> CoTask {
+        return [](Proc &pp) -> CoTask {
+            pp.compute(123);
+            pp.compute(77);
+            co_return;
+        }(p);
+    });
+    EXPECT_EQ(rig.m.node(0).proc(0).stats().computeCycles, 200u);
+}
+
+TEST(Proc, LoadsAndStoresCounted)
+{
+    Rig rig;
+    rig.m.run([&](Proc &p) -> CoTask {
+        return [](Proc &pp, Rig &r) -> CoTask {
+            if (pp.id() != 0)
+                co_return;
+            for (int i = 0; i < 10; ++i)
+                co_await pp.read(r.va(0, i * 8));
+            for (int i = 0; i < 7; ++i)
+                co_await pp.write(r.va(0, i * 8));
+        }(p, rig);
+    });
+    const ProcStats &s = rig.m.node(0).proc(0).stats();
+    EXPECT_EQ(s.loads, 10u);
+    EXPECT_EQ(s.stores, 7u);
+    EXPECT_EQ(s.pageFaults, 1u);
+}
+
+} // namespace
+} // namespace prism

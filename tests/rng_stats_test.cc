@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG, the stat registry and the
+ * histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+
+namespace prism {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(37), 37u);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng r(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(r.range(5, 8));
+    EXPECT_EQ(seen, (std::set<std::uint64_t>{5, 6, 7, 8}));
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(3);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng r(9);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    r.shuffle(v);
+    EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
+}
+
+TEST(StatRegistry, GetAndDump)
+{
+    StatRegistry reg;
+    std::uint64_t a = 5, b = 7;
+    reg.add("node0.ctrl.misses", &a, "remote misses");
+    reg.add("node1.ctrl.misses", &b);
+    EXPECT_EQ(reg.get("node0.ctrl.misses"), 5u);
+    EXPECT_EQ(reg.get("nope"), std::nullopt);
+    a = 6;
+    EXPECT_EQ(reg.get("node0.ctrl.misses"), 6u); // live reference
+    EXPECT_EQ(reg.sumBySuffix(".misses"), 13u);
+    EXPECT_EQ(reg.sumByPrefix("node1"), 7u);
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_NE(os.str().find("node0.ctrl.misses 6"), std::string::npos);
+    EXPECT_NE(os.str().find("# remote misses"), std::string::npos);
+}
+
+TEST(Histogram, BucketsAndMoments)
+{
+    Histogram h({10, 100, 1000});
+    h.sample(5);
+    h.sample(50);
+    h.sample(500);
+    h.sample(5000);
+    h.sample(7);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.max(), 5000u);
+    EXPECT_EQ(h.counts()[0], 2u); // [0,10)
+    EXPECT_EQ(h.counts()[1], 1u); // [10,100)
+    EXPECT_EQ(h.counts()[2], 1u); // [100,1000)
+    EXPECT_EQ(h.counts()[3], 1u); // [1000,inf)
+    EXPECT_NEAR(h.mean(), (5 + 50 + 500 + 5000 + 7) / 5.0, 1e-9);
+}
+
+} // namespace
+} // namespace prism

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Unit tests for the TLB model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/tlb.hh"
+
+namespace prism {
+namespace {
+
+TEST(Tlb, MissThenHit)
+{
+    Tlb t(4);
+    EXPECT_EQ(t.lookup(100), kInvalidFrame);
+    t.insert(100, 7);
+    EXPECT_EQ(t.lookup(100), 7u);
+    EXPECT_EQ(t.hits(), 1u);
+    EXPECT_EQ(t.misses(), 1u);
+}
+
+TEST(Tlb, LruEvictionAtCapacity)
+{
+    Tlb t(2);
+    t.insert(1, 11);
+    t.insert(2, 22);
+    EXPECT_EQ(t.lookup(1), 11u); // 1 becomes MRU
+    t.insert(3, 33);             // evicts 2
+    EXPECT_EQ(t.lookup(2), kInvalidFrame);
+    EXPECT_EQ(t.lookup(1), 11u);
+    EXPECT_EQ(t.lookup(3), 33u);
+    EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(Tlb, ReinsertUpdatesWithoutEviction)
+{
+    Tlb t(2);
+    t.insert(1, 11);
+    t.insert(2, 22);
+    t.insert(1, 99); // update in place
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.lookup(1), 99u);
+    EXPECT_EQ(t.lookup(2), 22u);
+}
+
+TEST(Tlb, InvalidateSingleEntry)
+{
+    Tlb t(4);
+    t.insert(5, 50);
+    t.insert(6, 60);
+    t.invalidate(5);
+    EXPECT_EQ(t.lookup(5), kInvalidFrame);
+    EXPECT_EQ(t.lookup(6), 60u);
+}
+
+TEST(Tlb, FlushClearsEverything)
+{
+    Tlb t(8);
+    for (VPage vp = 0; vp < 8; ++vp)
+        t.insert(vp, vp * 10);
+    t.flush();
+    EXPECT_EQ(t.size(), 0u);
+    for (VPage vp = 0; vp < 8; ++vp)
+        EXPECT_EQ(t.lookup(vp), kInvalidFrame);
+}
+
+} // namespace
+} // namespace prism
