@@ -4,7 +4,10 @@
  *
  * Environment knobs:
  *   PRISM_SCALE = paper | small | tiny   (default: paper)
- *   PRISM_APPS  = comma-separated app filter (default: all eight)
+ *   PRISM_APPS  = comma-separated app filter (default: all eight;
+ *                 a filter matching nothing is a fatal error)
+ *   PRISM_JOBS  = worker threads for the parallel sweep runner
+ *                 (default: hardware concurrency; `--jobs N` wins)
  */
 
 #ifndef PRISM_BENCH_BENCH_UTIL_HH
@@ -77,17 +80,30 @@ appsFromEnv(AppScale scale)
             }
         }
     }
+    if (out.empty()) {
+        std::fprintf(stderr,
+                     "PRISM_APPS='%s' matches no application; valid "
+                     "names:",
+                     filter);
+        for (const auto &a : all)
+            std::fprintf(stderr, " %s", a.name.c_str());
+        std::fprintf(stderr, "\n");
+        std::exit(1);
+    }
     return out;
 }
 
 inline void
-banner(const char *what)
+banner(const char *what, unsigned jobs = 0)
 {
     AppScale s = scaleFromEnv();
     std::printf("# PRISM reproduction: %s\n", what);
     std::printf("# machine: 8 nodes x 4 procs, 8KB L1 / 32KB L2, "
                 "4KB pages, 64B lines\n");
-    std::printf("# scale: %s (PRISM_SCALE to change)\n\n", scaleName(s));
+    std::printf("# scale: %s (PRISM_SCALE to change)", scaleName(s));
+    if (jobs)
+        std::printf("; jobs: %u (PRISM_JOBS/--jobs to change)", jobs);
+    std::printf("\n\n");
 }
 
 } // namespace bench

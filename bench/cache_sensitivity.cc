@@ -10,9 +10,11 @@
  * both machine shapes under SCOMA and LANUMA and prints the ratio.
  */
 
+#include <array>
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "workload/parallel_runner.hh"
 
 namespace {
 
@@ -25,13 +27,15 @@ struct Shape {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prism;
     using namespace prism::bench;
 
+    const unsigned jobs = jobsFromArgs(argc, argv);
     banner("Section 4.2 — cache-size sensitivity of the page-mode "
-           "choice (LANUMA time / SCOMA time)");
+           "choice (LANUMA time / SCOMA time)",
+           jobs);
 
     const Shape shapes[] = {
         {"8KB/32KB (paper eval)", 8 * 1024, 32 * 1024},
@@ -41,22 +45,44 @@ main()
     std::printf("%-12s %24s %24s\n", "Application", shapes[0].name,
                 shapes[1].name);
 
-    for (const auto &app : appsFromEnv(scaleFromEnv())) {
-        std::printf("%-12s", app.name.c_str());
-        for (const Shape &sh : shapes) {
-            MachineConfig scoma;
-            scoma.l1Bytes = sh.l1;
-            scoma.l2Bytes = sh.l2;
-            scoma.policy = PolicyKind::Scoma;
-            RunMetrics s = runOnce(scoma, app);
+    // 2 shapes x 2 policies per app, all independent: run the whole
+    // grid on the pool, print in app order afterwards.
+    const auto apps = appsFromEnv(scaleFromEnv());
+    struct Cell {
+        RunMetrics scoma, lanuma;
+    };
+    std::vector<std::array<Cell, 2>> grid(apps.size());
+    {
+        TaskPool pool(jobs);
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            for (std::size_t j = 0; j < 2; ++j) {
+                MachineConfig scoma;
+                scoma.l1Bytes = shapes[j].l1;
+                scoma.l2Bytes = shapes[j].l2;
+                scoma.policy = PolicyKind::Scoma;
+                MachineConfig lanuma = scoma;
+                lanuma.policy = PolicyKind::LaNuma;
 
-            MachineConfig lanuma = scoma;
-            lanuma.policy = PolicyKind::LaNuma;
-            RunMetrics l = runOnce(lanuma, app);
+                const AppSpec &app = apps[i];
+                Cell &cell = grid[i][j];
+                pool.submit([&cell, &app, scoma] {
+                    cell.scoma = runOnce(scoma, app);
+                });
+                pool.submit([&cell, &app, lanuma] {
+                    cell.lanuma = runOnce(lanuma, app);
+                });
+            }
+        }
+        pool.wait();
+    }
 
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        std::printf("%-12s", apps[i].name.c_str());
+        for (std::size_t j = 0; j < 2; ++j) {
             std::printf(" %23.2fx",
-                        static_cast<double>(l.execCycles) /
-                            static_cast<double>(s.execCycles));
+                        static_cast<double>(grid[i][j].lanuma.execCycles) /
+                            static_cast<double>(
+                                grid[i][j].scoma.execCycles));
         }
         std::printf("\n");
         std::fflush(stdout);

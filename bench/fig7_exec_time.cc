@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "bench_util.hh"
+#include "workload/parallel_runner.hh"
 
 int
 main(int argc, char **argv)
@@ -35,8 +36,10 @@ main(int argc, char **argv)
         return 0;
     }
 
+    const unsigned jobs = jobsFromArgs(argc, argv);
     banner("Figure 7 — execution time under different page modes, "
-           "normalized to SCOMA");
+           "normalized to SCOMA",
+           jobs);
 
     const auto policies = paperPolicies();
     std::printf("%-12s", "Application");
@@ -45,19 +48,21 @@ main(int argc, char **argv)
     std::printf("  (exec cycles, SCOMA)\n");
 
     MachineConfig base; // paper machine
-    for (const auto &app : appsFromEnv(scale)) {
-        auto results = runPolicySweep(base, app, policies);
+    const auto apps = appsFromEnv(scale);
+    const auto results = runSweepsParallel(base, apps, policies, jobs);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const ExperimentResult *row = &results[a * policies.size()];
         const double scoma =
-            static_cast<double>(results.front().metrics.execCycles);
-        std::printf("%-12s", app.name.c_str());
-        for (const auto &r : results) {
+            static_cast<double>(row[0].metrics.execCycles);
+        std::printf("%-12s", apps[a].name.c_str());
+        for (std::size_t p = 0; p < policies.size(); ++p) {
             std::printf(" %10.2f",
-                        static_cast<double>(r.metrics.execCycles) /
+                        static_cast<double>(row[p].metrics.execCycles) /
                             scoma);
         }
         std::printf("  (%llu)\n",
                     static_cast<unsigned long long>(
-                        results.front().metrics.execCycles));
+                        row[0].metrics.execCycles));
         std::fflush(stdout);
     }
     std::printf("\n# Paper's qualitative expectations: SCOMA = 1.0 "

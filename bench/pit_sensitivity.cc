@@ -15,6 +15,7 @@
 #include <cstring>
 
 #include "bench_util.hh"
+#include "workload/parallel_runner.hh"
 
 int
 main(int argc, char **argv)
@@ -22,13 +23,19 @@ main(int argc, char **argv)
     using namespace prism;
     using namespace prism::bench;
 
-    const bool with_ccnuma =
-        argc > 1 && !std::strcmp(argv[1], "--ccnuma");
-    const bool with_dirhints =
-        argc > 1 && !std::strcmp(argv[1], "--dirhints");
+    bool with_ccnuma = false;
+    bool with_dirhints = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--ccnuma"))
+            with_ccnuma = true;
+        else if (!std::strcmp(argv[i], "--dirhints"))
+            with_dirhints = true;
+    }
 
+    const unsigned jobs = jobsFromArgs(argc, argv);
     banner("Section 4.3 — PIT in DRAM (10 cycles) vs SRAM (2 cycles), "
-           "LANUMA configuration");
+           "LANUMA configuration",
+           jobs);
 
     std::printf("%-12s %12s %12s %9s", "Application", "SRAM-PIT",
                 "DRAM-PIT", "slowdown");
@@ -38,45 +45,74 @@ main(int argc, char **argv)
         std::printf(" %14s %9s", "DRAM+dirhints", "slowdown");
     std::printf("\n");
 
-    for (const auto &app : appsFromEnv(scaleFromEnv())) {
-        MachineConfig sram;
-        sram.policy = PolicyKind::LaNuma;
-        sram.pitLatency = 2;
-        RunMetrics s = runOnce(sram, app);
+    // Every (app, config) run is independent: fan them all out on the
+    // pool, then print rows in app order.
+    struct Row {
+        RunMetrics sram, dram, hints, ccnuma;
+    };
+    const auto apps = appsFromEnv(scaleFromEnv());
+    std::vector<Row> rows(apps.size());
+    {
+        TaskPool pool(jobs);
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            MachineConfig sram;
+            sram.policy = PolicyKind::LaNuma;
+            sram.pitLatency = 2;
+            MachineConfig dram = sram;
+            dram.pitLatency = 10;
 
-        MachineConfig dram = sram;
-        dram.pitLatency = 10;
-        RunMetrics d = runOnce(dram, app);
+            const AppSpec &app = apps[i];
+            Row &row = rows[i];
+            pool.submit(
+                [&row, &app, sram] { row.sram = runOnce(sram, app); });
+            pool.submit(
+                [&row, &app, dram] { row.dram = runOnce(dram, app); });
+            if (with_dirhints) {
+                // Section 4.3's mitigation: client frame numbers
+                // cached in the directory remove the PIT hash walk
+                // from the invalidation path.
+                MachineConfig dh = dram;
+                dh.dirClientFrameHints = true;
+                pool.submit(
+                    [&row, &app, dh] { row.hints = runOnce(dh, app); });
+            }
+            if (with_ccnuma) {
+                MachineConfig cc = sram;
+                cc.ccNumaBypass = true;
+                pool.submit(
+                    [&row, &app, cc] { row.ccnuma = runOnce(cc, app); });
+            }
+        }
+        pool.wait();
+    }
 
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const Row &row = rows[i];
+        const RunMetrics &s = row.sram;
         std::printf("%-12s %12llu %12llu %8.1f%%",
-                    app.name.c_str(),
+                    apps[i].name.c_str(),
                     static_cast<unsigned long long>(s.execCycles),
-                    static_cast<unsigned long long>(d.execCycles),
-                    100.0 * (static_cast<double>(d.execCycles) /
+                    static_cast<unsigned long long>(row.dram.execCycles),
+                    100.0 * (static_cast<double>(row.dram.execCycles) /
                                  static_cast<double>(s.execCycles) -
                              1.0));
         if (with_dirhints) {
-            // Section 4.3's mitigation: client frame numbers cached
-            // in the directory remove the PIT hash walk from the
-            // invalidation path.
-            MachineConfig dh = dram;
-            dh.dirClientFrameHints = true;
-            RunMetrics h = runOnce(dh, app);
             std::printf(" %14llu %8.1f%%",
-                        static_cast<unsigned long long>(h.execCycles),
-                        100.0 * (static_cast<double>(h.execCycles) /
-                                     static_cast<double>(s.execCycles) -
-                                 1.0));
+                        static_cast<unsigned long long>(
+                            row.hints.execCycles),
+                        100.0 *
+                            (static_cast<double>(row.hints.execCycles) /
+                                 static_cast<double>(s.execCycles) -
+                             1.0));
         }
         if (with_ccnuma) {
-            MachineConfig cc = sram;
-            cc.ccNumaBypass = true;
-            RunMetrics c = runOnce(cc, app);
             std::printf(" %12llu %8.1f%%",
-                        static_cast<unsigned long long>(c.execCycles),
-                        100.0 * (static_cast<double>(c.execCycles) /
-                                     static_cast<double>(s.execCycles) -
-                                 1.0));
+                        static_cast<unsigned long long>(
+                            row.ccnuma.execCycles),
+                        100.0 *
+                            (static_cast<double>(row.ccnuma.execCycles) /
+                                 static_cast<double>(s.execCycles) -
+                             1.0));
         }
         std::printf("\n");
         std::fflush(stdout);

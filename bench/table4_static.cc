@@ -8,15 +8,18 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "workload/parallel_runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prism;
     using namespace prism::bench;
 
+    const unsigned jobs = jobsFromArgs(argc, argv);
     banner("Table 4 — remote misses (static configs) and SCOMA-70 "
-           "page-outs");
+           "page-outs",
+           jobs);
 
     std::printf("%-12s %12s %12s %12s %12s\n", "Application", "SCOMA",
                 "LANUMA", "SCOMA-70", "PageOuts-70");
@@ -24,10 +27,12 @@ main()
     MachineConfig base;
     const std::vector<PolicyKind> policies = {
         PolicyKind::Scoma, PolicyKind::LaNuma, PolicyKind::Scoma70};
-    for (const auto &app : appsFromEnv(scaleFromEnv())) {
-        auto rs = runPolicySweep(base, app, policies);
+    const auto apps = appsFromEnv(scaleFromEnv());
+    const auto results = runSweepsParallel(base, apps, policies, jobs);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const ExperimentResult *rs = &results[a * policies.size()];
         std::printf("%-12s %12llu %12llu %12llu %12llu\n",
-                    app.name.c_str(),
+                    apps[a].name.c_str(),
                     static_cast<unsigned long long>(
                         rs[0].metrics.remoteMisses),
                     static_cast<unsigned long long>(

@@ -8,14 +8,17 @@
 #include <cstdio>
 
 #include "bench_util.hh"
+#include "workload/parallel_runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prism;
     using namespace prism::bench;
 
-    banner("Table 5 — remote misses and page-outs, adaptive configs");
+    const unsigned jobs = jobsFromArgs(argc, argv);
+    banner("Table 5 — remote misses and page-outs, adaptive configs",
+           jobs);
 
     std::printf("%-12s | %10s %10s %10s | %9s %9s\n", "Application",
                 "Dyn-FCFS", "Dyn-Util", "Dyn-LRU", "PO-Util", "PO-LRU");
@@ -23,10 +26,12 @@ main()
     MachineConfig base;
     const std::vector<PolicyKind> policies = {
         PolicyKind::DynFcfs, PolicyKind::DynUtil, PolicyKind::DynLru};
-    for (const auto &app : appsFromEnv(scaleFromEnv())) {
-        auto rs = runPolicySweep(base, app, policies);
+    const auto apps = appsFromEnv(scaleFromEnv());
+    const auto results = runSweepsParallel(base, apps, policies, jobs);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const ExperimentResult *rs = &results[a * policies.size()];
         std::printf("%-12s | %10llu %10llu %10llu | %9llu %9llu\n",
-                    app.name.c_str(),
+                    apps[a].name.c_str(),
                     static_cast<unsigned long long>(
                         rs[0].metrics.remoteMisses),
                     static_cast<unsigned long long>(

@@ -8,11 +8,15 @@
 namespace prism {
 
 namespace {
+// Trace filter from the environment, read once.  The function-local
+// statics are const after their (thread-safe, C++11 magic-static)
+// initialization, so concurrent Machines may call this freely.
 bool traceMatch(GPage gp, std::uint32_t li) {
-    static const char *env = std::getenv("PRISM_TRACE_GPAGE");
-    static unsigned long long g = env ? strtoull(env, nullptr, 16) : 0;
-    static const char *env2 = std::getenv("PRISM_TRACE_LI");
-    static unsigned long long l = env2 ? strtoull(env2, nullptr, 10) : ~0ULL;
+    static const char *const env = std::getenv("PRISM_TRACE_GPAGE");
+    static const unsigned long long g = env ? strtoull(env, nullptr, 16) : 0;
+    static const char *const env2 = std::getenv("PRISM_TRACE_LI");
+    static const unsigned long long l =
+        env2 ? strtoull(env2, nullptr, 10) : ~0ULL;
     return env && gp == g && (l == ~0ULL || li == l);
 }
 #define TRC(gp, li, ...) do { if (traceMatch(gp, li)) { ::prism::warn(__VA_ARGS__); } } while (0)

@@ -43,9 +43,31 @@ void
 Machine::route(Msg &&m)
 {
     prism_assert(m.dst < nodes_.size(), "message to unknown node");
-    auto boxed = std::make_shared<Msg>(std::move(m));
+    // Box the message in a pooled heap slot; the delivery callback
+    // returns the box to the pool, so steady-state routing allocates
+    // nothing (previously: one make_shared<Msg> plus one std::function
+    // heap capture per message).
+    Msg *boxed;
+    if (msgPool_.empty()) {
+        boxed = new Msg(std::move(m));
+    } else {
+        boxed = msgPool_.back().release();
+        msgPool_.pop_back();
+        *boxed = std::move(m);
+    }
+    // The box travels inside the callback as a unique_ptr so that a
+    // queue destroyed with deliveries still pending frees it.
+    auto deliver = [this, owned = std::unique_ptr<Msg>(boxed)]() mutable {
+        Msg &msg = *owned;
+        nodes_[msg.dst]->receive(msg);
+        msg.payload.reset(); // drop bulk payloads promptly
+        msgPool_.push_back(std::move(owned));
+    };
+    static_assert(sizeof(deliver) <= EventQueue::Callback::kCapacity,
+                  "route() delivery capture outgrew the event-callback "
+                  "inline buffer; bump kEventCallbackBytes");
     net_->send(boxed->src, boxed->dst, boxed->sizeClass(),
-               [this, boxed] { nodes_[boxed->dst]->receive(*boxed); });
+               std::move(deliver));
 }
 
 std::uint64_t

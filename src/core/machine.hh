@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "coherence/msg.hh"
 #include "core/config.hh"
 #include "core/metrics.hh"
 #include "core/node.hh"
@@ -128,6 +129,10 @@ class Machine
     std::unique_ptr<PagePolicy> policy_;
     std::vector<std::unique_ptr<Node>> nodes_;
     StatRegistry registry_;
+    /** Recycled message boxes for route(): in-flight messages live on
+     *  the heap (the delivery callback holds a raw pointer), but boxes
+     *  are reused so steady-state routing performs no allocation. */
+    std::vector<std::unique_ptr<Msg>> msgPool_;
 
     Tick parallelBegin_ = 0;
     Tick parallelEnd_ = 0;

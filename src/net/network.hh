@@ -14,7 +14,6 @@
 #define PRISM_NET_NETWORK_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -51,8 +50,9 @@ class Network
      * still NIC occupancy) and used by home nodes messaging themselves
      * through the uniform protocol path.
      */
+    template <typename F>
     void
-    send(NodeId src, NodeId dst, MsgSize size, std::function<void()> deliver)
+    send(NodeId src, NodeId dst, MsgSize size, F &&deliver)
     {
         const Cycles occ = occupancy(size);
         ++messages_;
@@ -60,7 +60,7 @@ class Network
         Tick out_done = egress_[src].acquire(eq_.now(), occ) + occ;
         Tick wire = (src == dst) ? 0 : params_.oneWayLatency;
         Tick in_start = ingress_[dst].acquire(out_done + wire, occ);
-        eq_.schedule(in_start + occ, std::move(deliver));
+        eq_.schedule(in_start + occ, std::forward<F>(deliver));
     }
 
     /** Latency a message of @p size would see with no contention. */

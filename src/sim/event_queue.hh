@@ -6,16 +6,30 @@
  * scheduled for the same tick fire in scheduling order (a monotonically
  * increasing sequence number breaks ties), which makes every simulation
  * run bit-reproducible for a given configuration and seed.
+ *
+ * Hot-path design (this is the innermost loop of the simulator):
+ *  - callbacks are InlineCallback, not std::function: fixed inline
+ *    storage, no heap allocation for any capture size used in src/;
+ *  - the time order is kept in a hand-rolled binary min-heap over a
+ *    std::vector (reserved up front) rather than std::priority_queue,
+ *    because pop must *move* the event out: std::priority_queue::top()
+ *    returns a const reference, which previously forced a const_cast
+ *    to move from it (see the regression note at runOne);
+ *  - the heap holds only trivially-copyable 24-byte keys (tick, seq,
+ *    slot index); callbacks live in a stable slot arena, so sifting
+ *    never touches a callback and each callback is moved exactly
+ *    twice (into its slot at schedule, out at dispatch).
  */
 
 #ifndef PRISM_SIM_EVENT_QUEUE_HH
 #define PRISM_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/callback.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -25,9 +39,14 @@ namespace prism {
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback<kEventCallbackBytes>;
 
-    EventQueue() = default;
+    EventQueue()
+    {
+        heap_.reserve(kInitialCapacity);
+        slots_.reserve(kInitialCapacity);
+        freeSlots_.reserve(kInitialCapacity);
+    }
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
@@ -40,40 +59,65 @@ class EventQueue
     /** Number of events still pending. */
     std::size_t pending() const { return heap_.size(); }
 
-    /** Schedule @p cb to run at absolute time @p when (>= now). */
+    /**
+     * Schedule @p cb to run at absolute time @p when (>= now).
+     * Callables are constructed directly in their arena slot (no
+     * intermediate Callback temporary on the common lambda path).
+     */
+    template <typename F>
     void
-    schedule(Tick when, Callback cb)
+    schedule(Tick when, F &&cb)
     {
         prism_assert(when >= now_,
                      "event scheduled in the past (%llu < %llu)",
                      static_cast<unsigned long long>(when),
                      static_cast<unsigned long long>(now_));
-        heap_.push(Event{when, nextSeq_++, std::move(cb)});
+        std::uint32_t slot;
+        if (freeSlots_.empty()) {
+            slot = static_cast<std::uint32_t>(slots_.size());
+            slots_.emplace_back();
+        } else {
+            slot = freeSlots_.back();
+            freeSlots_.pop_back();
+        }
+        if constexpr (std::is_same_v<std::decay_t<F>, Callback>)
+            slots_[slot] = std::move(cb);
+        else
+            slots_[slot].emplace(std::forward<F>(cb));
+        heap_.push_back(Event{when, nextSeq_++, slot});
+        siftUp(heap_.size() - 1);
     }
 
     /** Schedule @p cb to run @p delta cycles from now. */
+    template <typename F>
     void
-    scheduleIn(Cycles delta, Callback cb)
+    scheduleIn(Cycles delta, F &&cb)
     {
-        schedule(now_ + delta, std::move(cb));
+        schedule(now_ + delta, std::forward<F>(cb));
     }
 
     /**
      * Execute the next event.
      * @retval false if the queue was empty.
+     *
+     * Regression note: the event is *moved out* of the heap before it
+     * runs.  A callback may schedule further events — including at the
+     * current tick — which mutates the heap, so running the callback
+     * in place would dangle.  The old std::priority_queue code had to
+     * `const_cast` `top()` to get a moving pop; the hand-rolled heap
+     * supports it directly (popTop).
      */
     bool
     runOne()
     {
         if (heap_.empty())
             return false;
-        // Move the callback out before popping so the event may
-        // schedule further events (including at the same tick).
-        Event ev = std::move(const_cast<Event &>(heap_.top()));
-        heap_.pop();
+        Event ev = popTop();
+        Callback cb = std::move(slots_[ev.slot]);
+        freeSlots_.push_back(ev.slot);
         now_ = ev.when;
         ++executed_;
-        ev.cb();
+        cb();
         return true;
     }
 
@@ -92,7 +136,7 @@ class EventQueue
     void
     runUntil(Tick until)
     {
-        while (!heap_.empty() && heap_.top().when <= until) {
+        while (!heap_.empty() && heap_.front().when <= until) {
             runOne();
         }
         if (now_ < until && heap_.empty())
@@ -101,11 +145,13 @@ class EventQueue
 
     /**
      * Run until @p done returns true (checked after each event) or the
-     * queue drains.
+     * queue drains.  Templated so the predicate is called directly
+     * (no std::function indirection in the run loop).
      * @retval true if @p done was satisfied.
      */
+    template <typename Pred>
     bool
-    runWhile(const std::function<bool()> &done)
+    runWhile(Pred &&done)
     {
         while (!done()) {
             if (!runOne())
@@ -115,23 +161,73 @@ class EventQueue
     }
 
   private:
+    /** Initial heap capacity; avoids regrowth for typical runs. */
+    static constexpr std::size_t kInitialCapacity = 1024;
+
+    /** Heap node: ordering key plus the arena slot of its callback. */
     struct Event {
         Tick when;
         std::uint64_t seq;
-        Callback cb;
+        std::uint32_t slot;
     };
+    static_assert(std::is_trivially_copyable_v<Event>,
+                  "heap sifting relies on cheap Event copies");
 
-    struct Later {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+    /** Min-heap order: earlier tick first, scheduling order on ties. */
+    static bool
+    earlier(const Event &a, const Event &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    void
+    siftUp(std::size_t i)
+    {
+        const Event ev = heap_[i];
+        while (i > 0) {
+            std::size_t parent = (i - 1) / 2;
+            if (!earlier(ev, heap_[parent]))
+                break;
+            heap_[i] = heap_[parent];
+            i = parent;
         }
-    };
+        heap_[i] = ev;
+    }
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    /** Remove and return the earliest event (heap must be non-empty). */
+    Event
+    popTop()
+    {
+        const Event top = heap_.front();
+        const Event last = heap_.back();
+        heap_.pop_back();
+        const std::size_t n = heap_.size();
+        if (n > 0) {
+            // Sift the former last element down from the root hole.
+            std::size_t hole = 0;
+            while (true) {
+                std::size_t child = 2 * hole + 1;
+                if (child >= n)
+                    break;
+                if (child + 1 < n &&
+                    earlier(heap_[child + 1], heap_[child]))
+                    ++child;
+                if (!earlier(heap_[child], last))
+                    break;
+                heap_[hole] = heap_[child];
+                hole = child;
+            }
+            heap_[hole] = last;
+        }
+        return top;
+    }
+
+    std::vector<Event> heap_;
+    /** Callback arena indexed by Event::slot; freeSlots_ recycles. */
+    std::vector<Callback> slots_;
+    std::vector<std::uint32_t> freeSlots_;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;

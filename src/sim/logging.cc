@@ -2,17 +2,35 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace prism {
 
 namespace {
 
+/**
+ * Format the whole report into one buffer and emit it with a single
+ * stdio call, so lines from concurrently running simulations (the
+ * parallel sweep runner drives one Machine per worker thread) never
+ * interleave mid-line.
+ */
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
-    std::fprintf(stderr, "%s: ", tag);
-    std::vfprintf(stderr, fmt, ap);
-    std::fprintf(stderr, "\n");
+    char buf[1024];
+    int n = std::snprintf(buf, sizeof(buf), "%s: ", tag);
+    if (n < 0)
+        n = 0;
+    if (static_cast<std::size_t>(n) < sizeof(buf)) {
+        int m = std::vsnprintf(buf + n, sizeof(buf) - n, fmt, ap);
+        if (m > 0)
+            n += m;
+    }
+    std::size_t len = static_cast<std::size_t>(n) < sizeof(buf) - 1
+                          ? static_cast<std::size_t>(n)
+                          : sizeof(buf) - 2;
+    buf[len] = '\n';
+    std::fwrite(buf, 1, len + 1, stderr);
     std::fflush(stderr);
 }
 

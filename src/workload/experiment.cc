@@ -21,20 +21,19 @@ paperPolicies()
             PolicyKind::DynUtil, PolicyKind::DynLru};
 }
 
-std::vector<ExperimentResult>
-runPolicySweep(const MachineConfig &base, const AppSpec &app,
-               const std::vector<PolicyKind> &policies,
-               double cap_fraction)
+MachineConfig
+calibrationConfig(const MachineConfig &base)
 {
-    // Calibration run: SCOMA with an unbounded page cache.
-    MachineConfig scoma_cfg = base;
-    scoma_cfg.policy = PolicyKind::Scoma;
-    scoma_cfg.clientFrameCap = 0;
-    scoma_cfg.clientFrameCapPerNode.clear();
-    RunMetrics scoma = runOnce(scoma_cfg, app);
+    MachineConfig cfg = base;
+    cfg.policy = PolicyKind::Scoma;
+    cfg.clientFrameCap = 0;
+    cfg.clientFrameCapPerNode.clear();
+    return cfg;
+}
 
-    // Per-node caps: 70% of the max client S-COMA frames SCOMA
-    // allocated on that node (at least one frame).
+std::vector<std::uint64_t>
+scoma70Caps(const RunMetrics &scoma, double cap_fraction)
+{
     std::vector<std::uint64_t> caps;
     caps.reserve(scoma.clientScomaPeakPerNode.size());
     for (std::uint64_t peak : scoma.clientScomaPeakPerNode) {
@@ -42,25 +41,43 @@ runPolicySweep(const MachineConfig &base, const AppSpec &app,
             static_cast<double>(peak) * cap_fraction);
         caps.push_back(cap > 0 ? cap : 1);
     }
+    return caps;
+}
+
+MachineConfig
+policyConfig(const MachineConfig &base, PolicyKind pk,
+             const std::vector<std::uint64_t> &caps)
+{
+    MachineConfig cfg = base;
+    cfg.policy = pk;
+    if (pk == PolicyKind::Scoma || pk == PolicyKind::LaNuma) {
+        cfg.clientFrameCap = 0;
+        cfg.clientFrameCapPerNode.clear();
+    } else {
+        cfg.clientFrameCapPerNode = caps;
+    }
+    return cfg;
+}
+
+std::vector<ExperimentResult>
+runPolicySweep(const MachineConfig &base, const AppSpec &app,
+               const std::vector<PolicyKind> &policies,
+               double cap_fraction)
+{
+    // Calibration run: SCOMA with an unbounded page cache.
+    RunMetrics scoma = runOnce(calibrationConfig(base), app);
+    const std::vector<std::uint64_t> caps =
+        scoma70Caps(scoma, cap_fraction);
 
     std::vector<ExperimentResult> out;
     for (PolicyKind pk : policies) {
         ExperimentResult r;
         r.app = app.name;
         r.policy = pk;
-        if (pk == PolicyKind::Scoma) {
+        if (pk == PolicyKind::Scoma)
             r.metrics = scoma;
-        } else {
-            MachineConfig cfg = base;
-            cfg.policy = pk;
-            if (pk == PolicyKind::LaNuma) {
-                cfg.clientFrameCap = 0;
-                cfg.clientFrameCapPerNode.clear();
-            } else {
-                cfg.clientFrameCapPerNode = caps;
-            }
-            r.metrics = runOnce(cfg, app);
-        }
+        else
+            r.metrics = runOnce(policyConfig(base, pk, caps), app);
         out.push_back(std::move(r));
     }
     return out;

@@ -32,6 +32,21 @@ struct ExperimentResult {
 /** Run one workload instance under @p cfg. */
 RunMetrics runOnce(const MachineConfig &cfg, const AppSpec &app);
 
+/** Config for the SCOMA calibration run (unbounded page cache). */
+MachineConfig calibrationConfig(const MachineConfig &base);
+
+/**
+ * Per-node SCOMA-70 caps from a calibration run: @p cap_fraction of
+ * the peak client S-COMA frames SCOMA allocated on each node (at
+ * least one frame).
+ */
+std::vector<std::uint64_t> scoma70Caps(const RunMetrics &scoma,
+                                       double cap_fraction);
+
+/** Config for policy @p pk given @p base and calibrated @p caps. */
+MachineConfig policyConfig(const MachineConfig &base, PolicyKind pk,
+                           const std::vector<std::uint64_t> &caps);
+
 /**
  * Run @p app under every policy in @p policies, calibrating the
  * SCOMA-70 caps from a SCOMA run first (reused as the SCOMA result if

@@ -1,0 +1,154 @@
+#include "workload/parallel_runner.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace prism {
+
+unsigned
+defaultJobs()
+{
+    if (const char *e = std::getenv("PRISM_JOBS")) {
+        char *end = nullptr;
+        long v = std::strtol(e, &end, 10);
+        if (end == e || *end != '\0' || v < 1)
+            fatal("PRISM_JOBS='%s' is not a positive integer", e);
+        return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+unsigned
+jobsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *val = nullptr;
+        if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc)
+            val = argv[i + 1];
+        else if (!std::strncmp(argv[i], "--jobs=", 7))
+            val = argv[i] + 7;
+        if (val) {
+            char *end = nullptr;
+            long v = std::strtol(val, &end, 10);
+            if (end == val || *end != '\0' || v < 1)
+                fatal("--jobs '%s' is not a positive integer", val);
+            return static_cast<unsigned>(v);
+        }
+    }
+    return defaultJobs();
+}
+
+TaskPool::TaskPool(unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = 1;
+    workers_.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+TaskPool::~TaskPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+TaskPool::submit(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++outstanding_;
+        queue_.push_back(std::move(fn));
+    }
+    work_cv_.notify_one();
+}
+
+void
+TaskPool::wait()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_cv_.wait(lk, [this] { return outstanding_ == 0; });
+}
+
+void
+TaskPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    while (true) {
+        work_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stop_)
+                return;
+            continue;
+        }
+        std::function<void()> fn = std::move(queue_.front());
+        queue_.pop_front();
+        lk.unlock();
+        fn();
+        lk.lock();
+        // A task counts as outstanding until it has *finished*, so a
+        // parent that submits children before returning can never let
+        // wait() observe an empty pool between the two.
+        if (--outstanding_ == 0)
+            idle_cv_.notify_all();
+    }
+}
+
+std::vector<ExperimentResult>
+runSweepsParallel(const MachineConfig &base,
+                  const std::vector<AppSpec> &apps,
+                  const std::vector<PolicyKind> &policies,
+                  unsigned jobs, double cap_fraction)
+{
+    const std::size_t np = policies.size();
+    std::vector<ExperimentResult> out(apps.size() * np);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        for (std::size_t p = 0; p < np; ++p) {
+            out[a * np + p].app = apps[a].name;
+            out[a * np + p].policy = policies[p];
+        }
+    }
+
+    TaskPool pool(jobs);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        // Stage 1 per app: the SCOMA calibration run.  Its caps feed
+        // the capped policies, so those only enter the queue once the
+        // calibration task finishes.
+        pool.submit([&base, &apps, &policies, &pool, &out, a, np,
+                     cap_fraction] {
+            const AppSpec &app = apps[a];
+            RunMetrics scoma = runOnce(calibrationConfig(base), app);
+            auto caps = std::make_shared<std::vector<std::uint64_t>>(
+                scoma70Caps(scoma, cap_fraction));
+            for (std::size_t p = 0; p < np; ++p) {
+                const std::size_t slot = a * np + p;
+                const PolicyKind pk = policies[p];
+                if (pk == PolicyKind::Scoma) {
+                    out[slot].metrics = scoma;
+                    continue;
+                }
+                // Stage 2: independent runs, one task each.  Distinct
+                // slots, so no synchronization on the results needed.
+                pool.submit([&base, &app, &out, caps, slot, pk] {
+                    out[slot].metrics =
+                        runOnce(policyConfig(base, pk, *caps), app);
+                });
+            }
+        });
+    }
+    pool.wait();
+    return out;
+}
+
+} // namespace prism

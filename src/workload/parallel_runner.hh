@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Parallel experiment runner.
+ *
+ * The paper's evaluation is ~50 independent simulations (8 apps x 6
+ * policies plus sensitivity sweeps).  Each simulation is a fully
+ * deterministic, single-threaded Machine, so the sweep is
+ * embarrassingly parallel — except that an application's SCOMA
+ * calibration run must finish before its capped runs can be
+ * configured.  TaskPool is a small thread pool whose tasks may submit
+ * further tasks, which expresses that dependency naturally: the
+ * calibration task enqueues the dependent per-policy runs when it
+ * completes.  Results land in preallocated slots, so the output order
+ * is deterministic regardless of completion order.
+ *
+ * Worker count: `--jobs N` > `PRISM_JOBS` > std::thread::hardware_concurrency().
+ */
+
+#ifndef PRISM_WORKLOAD_PARALLEL_RUNNER_HH
+#define PRISM_WORKLOAD_PARALLEL_RUNNER_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "workload/experiment.hh"
+
+namespace prism {
+
+/**
+ * Worker count from the environment: PRISM_JOBS if set (>= 1,
+ * fatal otherwise), else the hardware thread count, else 1.
+ */
+unsigned defaultJobs();
+
+/**
+ * Worker count from the command line: `--jobs N` or `--jobs=N`
+ * overrides defaultJobs().  Unrelated arguments are ignored.
+ */
+unsigned jobsFromArgs(int argc, char **argv);
+
+/**
+ * A fixed set of worker threads draining one task queue.  Tasks may
+ * submit() further tasks (dependency chaining); wait() returns once
+ * every task — including ones submitted mid-flight — has finished.
+ */
+class TaskPool
+{
+  public:
+    /** Spawn @p jobs workers (at least one). */
+    explicit TaskPool(unsigned jobs);
+
+    /** Drains remaining tasks, then joins the workers. */
+    ~TaskPool();
+
+    TaskPool(const TaskPool &) = delete;
+    TaskPool &operator=(const TaskPool &) = delete;
+
+    /** Enqueue @p fn; may be called from inside a running task. */
+    void submit(std::function<void()> fn);
+
+    /** Block until all submitted tasks (incl. nested) completed. */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned jobs() const { return static_cast<unsigned>(workers_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable work_cv_;
+    std::condition_variable idle_cv_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    std::size_t outstanding_ = 0;
+    bool stop_ = false;
+};
+
+/**
+ * Run every (app, policy) combination on @p jobs workers, honoring
+ * the SCOMA-calibration dependency per app.  Equivalent to calling
+ * runPolicySweep() for each app and concatenating: results are in
+ * sweep order (apps outer, policies inner) and — because each
+ * simulation is deterministic and isolated — bit-identical to the
+ * sequential runner's for any worker count.
+ */
+std::vector<ExperimentResult>
+runSweepsParallel(const MachineConfig &base,
+                  const std::vector<AppSpec> &apps,
+                  const std::vector<PolicyKind> &policies,
+                  unsigned jobs, double cap_fraction = 0.70);
+
+} // namespace prism
+
+#endif // PRISM_WORKLOAD_PARALLEL_RUNNER_HH

@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/rng.hh"
 
 namespace prism {
 namespace {
@@ -84,6 +87,138 @@ TEST(EventQueue, RunOneOnEmptyReturnsFalse)
 {
     EventQueue eq;
     EXPECT_FALSE(eq.runOne());
+}
+
+/**
+ * Property/stress test for the hand-rolled heap: N interleaved
+ * schedule/scheduleIn calls with heavy same-tick ties, plus callbacks
+ * that schedule at the current tick.  The fired order must equal a
+ * stable sort of (tick, scheduling order) — FIFO within a tick — and
+ * the executed/pending accounting must stay exact.
+ */
+TEST(EventQueue, StressInterleavedTiesMatchReferenceOrder)
+{
+    constexpr int kSeeded = 3000;
+    Rng rng(0xfeedULL);
+    EventQueue eq;
+
+    // Reference model: execution order must equal the global schedule
+    // ordered by (tick, scheduling order).  `expected` records every
+    // schedule call in call order — including callbacks scheduled
+    // dynamically from inside other callbacks — so a stable sort by
+    // tick reproduces the queue's (when, seq) tie-break exactly.
+    std::vector<std::pair<Tick, int>> expected; // (when, id)
+    std::vector<int> fired;
+    int next_id = 0;
+
+    for (int i = 0; i < kSeeded; ++i) {
+        // Few distinct ticks -> many same-tick ties.
+        const Tick when = eq.now() + rng.below(32);
+        const int id = next_id++;
+        const bool spawn = (id % 5 == 0);
+        expected.emplace_back(when, id);
+        auto cb = [&eq, &expected, &fired, &next_id, id, spawn] {
+            fired.push_back(id);
+            if (spawn) {
+                // Child at the *current* tick: must run after every
+                // event already queued for this tick.
+                const int child = next_id++;
+                expected.emplace_back(eq.now(), child);
+                eq.scheduleIn(0,
+                              [&fired, child] { fired.push_back(child); });
+            }
+        };
+        if (id % 2 == 0)
+            eq.schedule(when, cb);
+        else
+            eq.scheduleIn(when - eq.now(), cb);
+        // Interleave scheduling with partial dispatch.
+        if (id % 11 == 0)
+            eq.runOne();
+    }
+
+    // Accounting mid-run: everything recorded is either fired or
+    // still pending.
+    EXPECT_EQ(eq.pending() + fired.size(), expected.size());
+    EXPECT_EQ(eq.eventsExecuted(), fired.size());
+
+    eq.runAll();
+
+    EXPECT_EQ(eq.pending(), 0u);
+    ASSERT_EQ(fired.size(), expected.size());
+    EXPECT_EQ(eq.eventsExecuted(), fired.size());
+
+    std::stable_sort(
+        expected.begin(), expected.end(),
+        [](const auto &a, const auto &b) { return a.first < b.first; });
+    for (std::size_t i = 0; i < fired.size(); ++i)
+        EXPECT_EQ(fired[i], expected[i].second) << "position " << i;
+}
+
+/**
+ * Deterministic replay: two queues fed the identical randomized
+ * schedule/dispatch interleaving (including same-tick re-scheduling
+ * from inside callbacks) must fire ids in the identical order.
+ */
+TEST(EventQueue, StressReplayIsDeterministic)
+{
+    auto drive = [](std::vector<int> &order) {
+        Rng rng(0xabcdULL);
+        EventQueue eq;
+        int next_id = 0;
+        for (int round = 0; round < 200; ++round) {
+            // Burst of schedules at clustered ticks...
+            const int burst = 1 + static_cast<int>(rng.below(8));
+            for (int b = 0; b < burst; ++b) {
+                const Tick d = rng.below(16);
+                const int id = next_id++;
+                eq.scheduleIn(d, [&order, &eq, id, d] {
+                    order.push_back(id);
+                    if (d % 3 == 0) {
+                        // Re-schedule at the current tick.
+                        eq.scheduleIn(0, [&order, id] {
+                            order.push_back(-id);
+                        });
+                    }
+                });
+            }
+            // ...interleaved with partial dispatch.
+            for (std::uint64_t k = rng.below(4); k > 0; --k)
+                eq.runOne();
+        }
+        eq.runAll();
+        EXPECT_EQ(eq.pending(), 0u);
+    };
+
+    std::vector<int> a, b;
+    drive(a);
+    drive(b);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+/**
+ * FIFO-within-tick across slot recycling: after the arena has been
+ * through many occupy/release cycles, ties must still fire strictly
+ * in scheduling order.
+ */
+TEST(EventQueue, TiesStayFifoAfterHeavyRecycling)
+{
+    EventQueue eq;
+    // Churn the slot arena and the heap.
+    for (int i = 0; i < 5000; ++i) {
+        eq.scheduleIn(static_cast<Cycles>(i % 7), [] {});
+        eq.runOne();
+    }
+    std::vector<int> order;
+    const Tick t = eq.now() + 10;
+    for (int i = 0; i < 100; ++i)
+        eq.schedule(t, [&order, i] { order.push_back(i); });
+    eq.runAll();
+    ASSERT_EQ(order.size(), 100u);
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(order[i], i);
 }
 
 TEST(FcfsResource, UncontendedStartsImmediately)

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Parallel sweep runner tests.
+ *
+ * The load-bearing invariant: simulations are deterministic and fully
+ * isolated per Machine, so the same (app, policy) sweep must produce
+ * bit-identical RunMetrics whether it runs sequentially or on a
+ * worker pool — for any worker count and any completion order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "workload/apps.hh"
+#include "workload/experiment.hh"
+#include "workload/parallel_runner.hh"
+
+namespace prism {
+namespace {
+
+MachineConfig
+smallCfg()
+{
+    MachineConfig cfg;
+    cfg.numNodes = 4;
+    cfg.procsPerNode = 2;
+    return cfg;
+}
+
+::testing::AssertionResult
+metricsIdentical(const RunMetrics &a, const RunMetrics &b)
+{
+#define PRISM_CHECK_FIELD(f)                                              \
+    if (a.f != b.f)                                                       \
+        return ::testing::AssertionFailure()                              \
+               << #f " differs: " << a.f << " vs " << b.f;
+    PRISM_CHECK_FIELD(execCycles)
+    PRISM_CHECK_FIELD(totalCycles)
+    PRISM_CHECK_FIELD(remoteMisses)
+    PRISM_CHECK_FIELD(clientPageOuts)
+    PRISM_CHECK_FIELD(upgrades)
+    PRISM_CHECK_FIELD(invalidations)
+    PRISM_CHECK_FIELD(networkMessages)
+    PRISM_CHECK_FIELD(pageFaults)
+    PRISM_CHECK_FIELD(framesAllocated)
+    PRISM_CHECK_FIELD(references)
+    PRISM_CHECK_FIELD(forwards)
+    PRISM_CHECK_FIELD(migrations)
+#undef PRISM_CHECK_FIELD
+    if (a.avgUtilization != b.avgUtilization)
+        return ::testing::AssertionFailure() << "avgUtilization differs";
+    if (a.clientScomaPeakPerNode != b.clientScomaPeakPerNode)
+        return ::testing::AssertionFailure()
+               << "clientScomaPeakPerNode differs";
+    return ::testing::AssertionSuccess();
+}
+
+TEST(TaskPool, RunsAllTasks)
+{
+    TaskPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(TaskPool, NestedSubmissionsCompleteBeforeWaitReturns)
+{
+    TaskPool pool(3);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 10; ++i) {
+        pool.submit([&pool, &count] {
+            ++count;
+            for (int j = 0; j < 5; ++j)
+                pool.submit([&count] { ++count; });
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), 10 + 10 * 5);
+}
+
+TEST(TaskPool, WaitIsReusable)
+{
+    TaskPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(Jobs, EnvAndArgsParsing)
+{
+    ASSERT_EQ(setenv("PRISM_JOBS", "3", 1), 0);
+    EXPECT_EQ(defaultJobs(), 3u);
+
+    char a0[] = "bench";
+    char a1[] = "--jobs";
+    char a2[] = "5";
+    char *argv1[] = {a0, a1, a2};
+    EXPECT_EQ(jobsFromArgs(3, argv1), 5u);
+
+    char b1[] = "--jobs=7";
+    char *argv2[] = {a0, b1};
+    EXPECT_EQ(jobsFromArgs(2, argv2), 7u);
+
+    // Unrelated args fall back to the environment.
+    char c1[] = "--list";
+    char *argv3[] = {a0, c1};
+    EXPECT_EQ(jobsFromArgs(2, argv3), 3u);
+
+    ASSERT_EQ(unsetenv("PRISM_JOBS"), 0);
+    EXPECT_GE(defaultJobs(), 1u);
+}
+
+/**
+ * The determinism contract: sequential runPolicySweep and the
+ * 4-worker parallel runner must agree bit-for-bit on every metric,
+ * for every (app, policy) cell including the calibrated-cap ones.
+ */
+TEST(ParallelSweep, BitIdenticalToSequentialSweep)
+{
+    const MachineConfig base = smallCfg();
+    const auto policies = paperPolicies();
+
+    auto all = standardApps(AppScale::Tiny);
+    std::vector<AppSpec> apps;
+    for (auto &a : all) {
+        if (a.name == "FFT" || a.name == "Radix")
+            apps.push_back(a);
+    }
+    ASSERT_EQ(apps.size(), 2u);
+
+    std::vector<ExperimentResult> sequential;
+    for (const auto &app : apps) {
+        auto rs = runPolicySweep(base, app, policies);
+        sequential.insert(sequential.end(), rs.begin(), rs.end());
+    }
+
+    const auto parallel =
+        runSweepsParallel(base, apps, policies, /*jobs=*/4);
+
+    ASSERT_EQ(parallel.size(), sequential.size());
+    for (std::size_t i = 0; i < parallel.size(); ++i) {
+        EXPECT_EQ(parallel[i].app, sequential[i].app) << "slot " << i;
+        EXPECT_EQ(parallel[i].policy, sequential[i].policy)
+            << "slot " << i;
+        EXPECT_TRUE(metricsIdentical(parallel[i].metrics,
+                                     sequential[i].metrics))
+            << "app " << parallel[i].app << " slot " << i;
+    }
+}
+
+/** Worker count must not change results either. */
+TEST(ParallelSweep, WorkerCountInvariant)
+{
+    const MachineConfig base = smallCfg();
+    const std::vector<PolicyKind> policies = {
+        PolicyKind::Scoma, PolicyKind::Scoma70, PolicyKind::DynLru};
+
+    auto all = standardApps(AppScale::Tiny);
+    std::vector<AppSpec> apps;
+    for (auto &a : all) {
+        if (a.name == "LU")
+            apps.push_back(a);
+    }
+    ASSERT_EQ(apps.size(), 1u);
+
+    const auto one = runSweepsParallel(base, apps, policies, 1);
+    const auto eight = runSweepsParallel(base, apps, policies, 8);
+    ASSERT_EQ(one.size(), eight.size());
+    for (std::size_t i = 0; i < one.size(); ++i)
+        EXPECT_TRUE(metricsIdentical(one[i].metrics, eight[i].metrics));
+}
+
+} // namespace
+} // namespace prism
