@@ -35,7 +35,9 @@ scaleFromEnv()
         return AppScale::Small;
     if (!std::strcmp(s, "tiny"))
         return AppScale::Tiny;
-    std::fprintf(stderr, "unknown PRISM_SCALE '%s'\n", s);
+    std::fprintf(stderr,
+                 "unknown PRISM_SCALE '%s' (valid: paper small tiny)\n",
+                 s);
     std::exit(1);
 }
 

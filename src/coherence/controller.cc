@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "check/oracle.hh"
 #include "sim/stats.hh"
 #include <cstdlib>
 
@@ -32,7 +33,8 @@ CoherenceController::CoherenceController(
       geo_(cfg.lineBytes),
       pit_(cfg.pitLatency, cfg.pitHashExtra),
       dir_(cfg.dirCacheEntries, cfg.dirCacheHit, cfg.dirCacheMiss,
-           geo_.linesPerPage())
+           geo_.linesPerPage()),
+      mutationBudget_(cfg.mutationSkipInvals)
 {
 }
 
@@ -257,19 +259,32 @@ CoherenceController::runClientTxn(MsgType mt, PitEntry &e, FrameNum frame,
     m.dstFrameHint = e.homeFrameHint;
     send(std::move(m));
 
+    const GPage gpage = e.gpage;
     co_await txn.latch.wait();
     pending_.erase(gl);
 
-    if (txn.dynHome != kInvalidNode)
-        e.dynHome = txn.dynHome;
-    if (txn.homeFrame != kInvalidFrame)
-        e.homeFrameHint = txn.homeFrame;
+    // `e` may be stale: while the transaction was in flight the page
+    // can migrate TO this node, and adopting a LA-NUMA mapping retires
+    // its imaginary frame (handleMigrateData removes the PIT entry).
+    // Re-translate and only update hints if the same mapping is still
+    // installed; the hints are advisory, so skipping them is safe.
+    PitEntry *cur = pit_.entry(frame);
+    if (cur && cur->gpage != gpage)
+        cur = nullptr;
+    if (cur) {
+        if (txn.dynHome != kInvalidNode)
+            cur->dynHome = txn.dynHome;
+        if (txn.homeFrame != kInvalidFrame)
+            cur->homeFrameHint = txn.homeFrame;
+    }
 
     if (txn.dataFetched) {
         ++stats_.remoteMisses;
-        ++e.remoteFetches;
-        if (e.mode == PageMode::Scoma)
-            dram_.access(eq_.now()); // copy into the page cache
+        if (cur) {
+            ++cur->remoteFetches;
+            if (cur->mode == PageMode::Scoma)
+                dram_.access(eq_.now()); // copy into the page cache
+        }
     } else {
         ++stats_.upgrades;
     }
@@ -424,6 +439,8 @@ CoherenceController::installHomeMapping(FrameNum frame, GPage gpage)
     if (staticHomeOf_(gpage) == self_)
         registry_[gpage] = self_;
     movedTo_.erase(gpage);
+    if (oracle_)
+        oracle_->onHomeInstall(self_, gpage);
 }
 
 CoTask
@@ -549,12 +566,17 @@ CoherenceController::homeRemoveClient(GPage gpage, NodeId client)
             if (d.sharers == 0) {
                 d.state = DirState::Uncached;
             }
-        } else if (d.state == DirState::Owned && d.owner == client) {
-            // Defensive: the client's flush writebacks arrive first
-            // (FIFO), so this indicates a lost writeback.
-            d.state = DirState::Uncached;
-            d.owner = kInvalidNode;
         }
+        // Owned(client) lines are left alone: the client's page-out
+        // flush put a Writeback (or ReplaceHint) in flight before the
+        // PageOutNotice, and pairwise-FIFO delivery means it is
+        // already in our pipeline — it performs the Owned->Uncached
+        // transition and carries the data.  Resetting the line here
+        // instead would let a racing request read stale home memory
+        // while the writeback is still paying its occupancy delays
+        // (silent loss of the owner's last writes).  Until the
+        // writeback lands, requests take the 3-party path and retry
+        // on FetchNack.
     }
     return c;
 }
@@ -563,6 +585,16 @@ void
 CoherenceController::removeHomeMapping(FrameNum frame, GPage gpage)
 {
     prism_assert(dir_.hasPage(gpage), "removeHomeMapping without dir page");
+    if (oracle_) {
+        // The kernel has flushed processor copies into the frame, so
+        // lines we owned leave with the frame (= memory) current.
+        auto *pg = dir_.page(gpage);
+        for (std::uint32_t i = 0; i < pg->size(); ++i) {
+            const DirEntry &d = (*pg)[i];
+            if (d.state == DirState::Owned && d.owner == self_)
+                oracle_->onMigrateFlush(self_, gpage, i);
+        }
+    }
     dir_.removePage(gpage);
     homeMeta_.erase(gpage);
     pit_.remove(frame);
@@ -748,6 +780,8 @@ CoherenceController::handleHomeRequest(Msg m)
             d->state = DirState::Owned;
             d->owner = req;
             d->sharers = 0;
+            if (oracle_)
+                oracle_->onHomeGrantFromMemory(self_, m.gpage, li, req);
             send(std::move(r));
             break;
         }
@@ -765,6 +799,9 @@ CoherenceController::handleHomeRequest(Msg m)
                 r.dynHome = self_;
                 r.exclusive = false;
                 d->addSharer(req);
+                if (oracle_)
+                    oracle_->onHomeGrantFromMemory(self_, m.gpage, li,
+                                                   req);
                 send(std::move(r));
                 break;
             }
@@ -788,6 +825,8 @@ CoherenceController::handleHomeRequest(Msg m)
                     he->tags->set(li, FgTag::Invalid);
                 }
                 d->removeSharer(self_);
+                if (oracle_)
+                    oracle_->onInvalidate(self_, m.gpage, li);
                 if (r.done > eq_.now())
                     co_await DelayAwaiter(eq_, r.done - eq_.now());
             }
@@ -797,6 +836,14 @@ CoherenceController::handleHomeRequest(Msg m)
             for (NodeId n = 0; n < cfg_.numNodes; ++n) {
                 if (!((rest >> n) & 1))
                     continue;
+                if (mutationBudget_ > 0) {
+                    // Fault injection (oracle self-test): silently
+                    // skip this invalidation.  The requester is told
+                    // to expect one fewer ack, so the protocol
+                    // proceeds with a stale sharer left behind.
+                    --mutationBudget_;
+                    continue;
+                }
                 // Serialized sends: the controller occupancy per
                 // invalidation yields the paper's +80n latency slope.
                 co_await occupy(cfg_.ctrlOverhead);
@@ -828,6 +875,8 @@ CoherenceController::handleHomeRequest(Msg m)
                 r.dynHome = self_;
                 r.exclusive = true;
                 r.ackCount = acks;
+                if (oracle_)
+                    oracle_->onHomeUpgradeGrant(self_, m.gpage, li, req);
                 send(std::move(r));
             } else {
                 co_await dramAccess();
@@ -842,6 +891,9 @@ CoherenceController::handleHomeRequest(Msg m)
                 r.dynHome = self_;
                 r.exclusive = true;
                 r.ackCount = acks;
+                if (oracle_)
+                    oracle_->onHomeGrantFromMemory(self_, m.gpage, li,
+                                                   req);
                 send(std::move(r));
             }
             d->state = DirState::Owned;
@@ -902,6 +954,9 @@ CoherenceController::handleHomeRequest(Msg m)
                 d->sharers = (1ULL << self_) | (1ULL << req);
                 d->owner = kInvalidNode;
             }
+            if (oracle_)
+                oracle_->onHomeServeSelfOwned(self_, m.gpage, li, req,
+                                              for_write);
             send(std::move(rep));
             break;
         }
@@ -990,6 +1045,23 @@ CoherenceController::handleWriteback(Msg m)
         }
         if (m.dirty)
             dram_.access(eq_.now());
+        if (oracle_)
+            oracle_->onWritebackAccepted(self_, m.gpage, m.lineIdx,
+                                         owner_id, m.dirty, m.keepShared);
+    } else if (d->state == DirState::Uncached && m.dirty) {
+        // The owner's page-out flush races its own PageOutNotice: the
+        // writeback is delivered first (pairwise FIFO) but pays the
+        // controller occupancy and PIT-reverse delays before reading
+        // the directory, while the kernel's homeRemoveClient runs at
+        // notice delivery and has already reset the line to Uncached.
+        // The data is still the latest value — collect it.  (A truly
+        // stale writeback finds the line re-Owned by the next owner
+        // and is dropped below: ownership can only move through this
+        // serialized controller.)
+        dram_.access(eq_.now());
+        if (oracle_)
+            oracle_->onWritebackAccepted(self_, m.gpage, m.lineIdx,
+                                         owner_id, true, false);
     }
     // Otherwise the writeback is stale (ownership already moved); drop.
 }
@@ -1026,6 +1098,8 @@ CoherenceController::handleClientInv(Msg m)
         auto r = host_.intervene(f, m.lineIdx, true, eq_.now());
         if (e->tags && e->tags->get(m.lineIdx) != FgTag::Transit)
             e->tags->set(m.lineIdx, FgTag::Invalid);
+        if (oracle_)
+            oracle_->onInvalidate(self_, m.gpage, m.lineIdx);
         if (r.done > eq_.now())
             co_await DelayAwaiter(eq_, r.done - eq_.now());
     }
@@ -1111,6 +1185,9 @@ CoherenceController::handleClientFetch(Msg m)
     dmsg.homeFrame = m.homeFrame;
     dmsg.dynHome = m.dynHome;
     dmsg.exclusive = m.forWrite;
+    if (oracle_)
+        oracle_->onOwnerServe(self_, m.gpage, m.lineIdx, m.requester,
+                              m.forWrite);
     send(std::move(dmsg));
 
     Msg x;
@@ -1235,7 +1312,8 @@ CoherenceController::handleMigratePrep(Msg m)
 
     auto payload = std::make_shared<MigrationPayload>();
     payload->dir = dir_.releasePage(gp);
-    for (auto &d : payload->dir) {
+    for (std::uint32_t i = 0; i < payload->dir.size(); ++i) {
+        DirEntry &d = payload->dir[i];
         if (d.state == DirState::Shared) {
             d.removeSharer(self_);
             if (d.sharers == 0)
@@ -1243,6 +1321,10 @@ CoherenceController::handleMigratePrep(Msg m)
         } else if (d.state == DirState::Owned && d.owner == self_) {
             d.state = DirState::Uncached;
             d.owner = kInvalidNode;
+            // Flushed above into the departing frame: the payload
+            // carries the line's latest value as the new memory.
+            if (oracle_)
+                oracle_->onMigrateFlush(self_, gp, i);
         }
     }
     payload->kernelClients = host_.homeKernelClients(gp) &
@@ -1288,6 +1370,16 @@ CoherenceController::handleMigrateData(Msg m)
             hf = existing;
             e->dynHome = self_;
             e->homeFrameHint = existing;
+            if (oracle_) {
+                // Lines we own stay Owned(self) in the adopted
+                // directory, but the promoted frame is now the home
+                // memory and it holds our (latest) data.
+                for (std::uint32_t i = 0; i < payload->dir.size(); ++i) {
+                    const DirEntry &d = payload->dir[i];
+                    if (d.state == DirState::Owned && d.owner == self_)
+                        oracle_->onMigrateFlush(self_, gp, i);
+                }
+            }
         } else {
             // LA-NUMA client mapping: collect processor copies into
             // memory, then retire the imaginary frame.
@@ -1298,7 +1390,8 @@ CoherenceController::handleMigrateData(Msg m)
                 if (r.dirty)
                     dram_.access(eq_.now());
             }
-            for (auto &d : payload->dir) {
+            for (std::uint32_t i = 0; i < payload->dir.size(); ++i) {
+                DirEntry &d = payload->dir[i];
                 if (d.state == DirState::Shared) {
                     d.removeSharer(self_);
                     if (d.sharers == 0)
@@ -1307,6 +1400,9 @@ CoherenceController::handleMigrateData(Msg m)
                            d.owner == self_) {
                     d.state = DirState::Uncached;
                     d.owner = kInvalidNode;
+                    // Collected above into what is now home memory.
+                    if (oracle_)
+                        oracle_->onMigrateFlush(self_, gp, i);
                 }
             }
             pit_.remove(existing);

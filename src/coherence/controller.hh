@@ -45,6 +45,8 @@
 
 namespace prism {
 
+class ProtocolOracle;
+
 /** How a processor miss was ultimately satisfied. */
 enum class MissSource : std::uint8_t {
     LocalMem, //!< data supplied by this node's memory (page cache/local)
@@ -282,6 +284,9 @@ class CoherenceController
     /** Outstanding client transactions (draining / test support). */
     std::size_t pendingTransactions() const { return pending_.size(); }
 
+    /** Attach the protocol oracle (Machine construction). */
+    void setOracle(ProtocolOracle *o) { oracle_ = o; }
+
   private:
     /** Client-side transaction awaiting a reply plus ack collection. */
     struct ClientTxn {
@@ -375,6 +380,10 @@ class CoherenceController
     std::unordered_map<GPage, NodeId> registry_;
     /** Tombstones for pages that migrated away from this node. */
     std::unordered_map<GPage, NodeId> movedTo_;
+
+    ProtocolOracle *oracle_ = nullptr;
+    /** Remaining invalidations to skip (cfg.mutationSkipInvals). */
+    std::uint32_t mutationBudget_ = 0;
 
     ControllerStats stats_;
 };

@@ -1,5 +1,7 @@
 #include "core/config.hh"
 
+#include <cstring>
+
 namespace prism {
 
 const char *
@@ -15,6 +17,37 @@ policyName(PolicyKind k)
       case PolicyKind::DynBoth: return "Dyn-Both";
     }
     return "?";
+}
+
+const char *
+oracleModeName(OracleMode m)
+{
+    switch (m) {
+      case OracleMode::Off: return "off";
+      case OracleMode::Quiescent: return "quiescent";
+      case OracleMode::Continuous: return "continuous";
+    }
+    return "?";
+}
+
+bool
+oracleModeFromString(const char *s, OracleMode *out)
+{
+    if (!s || !out)
+        return false;
+    if (!std::strcmp(s, "off")) {
+        *out = OracleMode::Off;
+        return true;
+    }
+    if (!std::strcmp(s, "quiescent")) {
+        *out = OracleMode::Quiescent;
+        return true;
+    }
+    if (!std::strcmp(s, "continuous")) {
+        *out = OracleMode::Continuous;
+        return true;
+    }
+    return false;
 }
 
 } // namespace prism

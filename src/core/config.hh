@@ -36,6 +36,30 @@ enum class PolicyKind : std::uint8_t {
 /** Human-readable policy name as used in the paper. */
 const char *policyName(PolicyKind k);
 
+/**
+ * Protocol-oracle checking level (src/check).
+ *
+ * Off        no checking; benches pay a single never-taken branch.
+ * Quiescent  full I1-I6 + shadow-value sweep after the machine drains.
+ * Continuous the quiescent sweep plus incremental per-line re-checks
+ *            and data-value verification at every state transition,
+ *            while transactions are still in flight.
+ */
+enum class OracleMode : std::uint8_t {
+    Off,
+    Quiescent,
+    Continuous,
+};
+
+/** Human-readable oracle-mode name (off|quiescent|continuous). */
+const char *oracleModeName(OracleMode m);
+
+/**
+ * Parse an oracle-mode name.
+ * @retval false @p s names no mode (out is untouched).
+ */
+bool oracleModeFromString(const char *s, OracleMode *out);
+
 /** Full machine configuration. */
 struct MachineConfig {
     // --- Topology -------------------------------------------------
@@ -116,6 +140,36 @@ struct MachineConfig {
     Cycles lockAcquireCycles = 300;  //!< uncontended remote lock RT
     Cycles lockHandoffCycles = 140;  //!< contended handoff
     Cycles barrierCycles = 400;      //!< per-episode barrier overhead
+
+    // --- Protocol checking (src/check) -----------------------------------
+    /**
+     * Oracle level; the PRISM_ORACLE environment variable
+     * (off|quiescent|continuous) overrides this at Machine
+     * construction.
+     */
+    OracleMode oracleMode = OracleMode::Off;
+    /**
+     * Panic on the first oracle violation (debugger-friendly).  The
+     * explorer clears this to collect violations and shrink instead.
+     */
+    bool oracleFatal = true;
+    /**
+     * Fault injection for oracle self-tests: each controller omits up
+     * to this many invalidations from its home-side fan-out (the
+     * requester is told to expect correspondingly fewer acks, so the
+     * protocol proceeds with a stale sharer left behind).  0 = off.
+     */
+    std::uint32_t mutationSkipInvals = 0;
+
+    // --- Schedule fuzzing -------------------------------------------------
+    /**
+     * Maximum extra delivery delay the network adds per message, drawn
+     * deterministically from jitterSeed.  Delivery stays FIFO per
+     * (src, dst) pair — a property the protocol relies on.  0 keeps
+     * the network bit-identical to the unjittered model.
+     */
+    Cycles netJitterMax = 0;
+    std::uint64_t jitterSeed = 1;
 
     // --- Simulation -----------------------------------------------------
     std::uint32_t runAheadQuantum = 2000; //!< max local-time run-ahead

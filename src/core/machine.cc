@@ -1,6 +1,9 @@
 #include "core/machine.hh"
 
+#include <cstdlib>
 #include <string>
+
+#include "check/oracle.hh"
 
 namespace prism {
 
@@ -8,11 +11,21 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
 {
     prism_assert(cfg_.numNodes >= 1 && cfg_.numNodes <= 64,
                  "node count must be in [1, 64]");
+    if (const char *env = std::getenv("PRISM_ORACLE")) {
+        OracleMode om;
+        if (!oracleModeFromString(env, &om)) {
+            fatal("unknown PRISM_ORACLE '%s' (valid: off quiescent "
+                  "continuous)", env);
+        }
+        cfg_.oracleMode = om;
+    }
     Network::Params np;
     np.oneWayLatency = cfg_.netLatency;
     np.controlOccupancy = cfg_.netCtrlOccupancy;
     np.dataOccupancy = cfg_.netDataOccupancy;
     np.pageOccupancy = cfg_.netPageOccupancy;
+    np.jitterMax = cfg_.netJitterMax;
+    np.jitterSeed = cfg_.jitterSeed;
     net_ = std::make_unique<Network>(eq_, cfg_.numNodes, np);
 
     locks_ = std::make_unique<LockManager>(eq_, cfg_.lockAcquireCycles,
@@ -28,6 +41,16 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
         nodes_.push_back(std::make_unique<Node>(n, cfg_, eq_, *this, ipc_,
                                                 static_home, sender));
         nodes_.back()->kernel().setPolicy(policy_.get());
+    }
+
+    if (cfg_.oracleMode != OracleMode::Off) {
+        oracle_ = std::make_unique<ProtocolOracle>(*this, cfg_.oracleMode,
+                                                   cfg_.oracleFatal);
+        for (auto &node : nodes_) {
+            node->controller().setOracle(oracle_.get());
+            for (std::uint32_t p = 0; p < node->numProcs(); ++p)
+                node->proc(p).setOracle(oracle_.get());
+        }
     }
 
     for (NodeId n = 0; n < cfg_.numNodes; ++n) {
@@ -66,6 +89,11 @@ Machine::route(Msg &&m)
     static_assert(sizeof(deliver) <= EventQueue::Callback::kCapacity,
                   "route() delivery capture outgrew the event-callback "
                   "inline buffer; bump kEventCallbackBytes");
+    if (oracle_) {
+        oracle_->traceMsg(eq_.now(), boxed->src, boxed->dst,
+                          static_cast<std::uint16_t>(boxed->type),
+                          boxed->gpage, boxed->lineIdx);
+    }
     net_->send(boxed->src, boxed->dst, boxed->sizeClass(),
                std::move(deliver));
 }
@@ -105,6 +133,8 @@ Machine::run(const std::function<CoTask(Proc &)> &make)
                  "event queue drained with %u of %u programs unfinished",
                  n - done, n);
     drain();
+    if (oracle_)
+        oracle_->sweepQuiescent();
 }
 
 void

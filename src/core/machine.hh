@@ -29,6 +29,8 @@
 
 namespace prism {
 
+class ProtocolOracle;
+
 /** The whole simulated multiprocessor. */
 class Machine
 {
@@ -46,6 +48,9 @@ class Machine
     LockManager &locks() { return *locks_; }
     BarrierManager &barriers() { return *barriers_; }
     StatRegistry &statRegistry() { return registry_; }
+
+    /** Protocol oracle; nullptr when oracleMode is Off. */
+    ProtocolOracle *oracle() { return oracle_.get(); }
 
     Node &node(NodeId n) { return *nodes_[n]; }
     std::uint32_t numNodes() const
@@ -128,6 +133,7 @@ class Machine
     std::unique_ptr<BarrierManager> barriers_;
     std::unique_ptr<PagePolicy> policy_;
     std::vector<std::unique_ptr<Node>> nodes_;
+    std::unique_ptr<ProtocolOracle> oracle_;
     StatRegistry registry_;
     /** Recycled message boxes for route(): in-flight messages live on
      *  the heap (the delivery callback holds a raw pointer), but boxes

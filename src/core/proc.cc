@@ -1,5 +1,6 @@
 #include "core/proc.hh"
 
+#include "check/oracle.hh"
 #include "core/machine.hh"
 #include "core/node.hh"
 
@@ -68,11 +69,17 @@ Proc::fastCore(VAddr va, bool write)
         if (!write || s1 == Mesi::Modified) {
             l1_.touch(paddr);
             ++stats_.l1Hits;
+            if (oracle_)
+                oracle_->onAccessCommit(node_.id(), id_, frame, paddr,
+                                        write);
             return true;
         }
         if (s1 == Mesi::Exclusive) {
             l1_.setState(paddr, Mesi::Modified);
             ++stats_.l1Hits;
+            if (oracle_)
+                oracle_->onAccessCommit(node_.id(), id_, frame, paddr,
+                                        write);
             return true;
         }
         return false; // write to Shared: needs an upgrade
@@ -87,6 +94,8 @@ Proc::fastCore(VAddr va, bool write)
         ++stats_.l2Hits;
         l2_.touch(paddr);
         insertL1(paddr, s2);
+        if (oracle_)
+            oracle_->onAccessCommit(node_.id(), id_, frame, paddr, write);
         return true;
     }
     if (s2 == Mesi::Modified || s2 == Mesi::Exclusive) {
@@ -94,6 +103,8 @@ Proc::fastCore(VAddr va, bool write)
         ++stats_.l2Hits;
         l2_.setState(paddr, Mesi::Modified);
         insertL1(paddr, Mesi::Modified);
+        if (oracle_)
+            oracle_->onAccessCommit(node_.id(), id_, frame, paddr, write);
         return true;
     }
     return false; // Shared + write

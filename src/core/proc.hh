@@ -30,6 +30,7 @@ namespace prism {
 
 class Node;
 class Machine;
+class ProtocolOracle;
 
 /** Per-processor statistics. */
 struct ProcStats {
@@ -127,6 +128,9 @@ class Proc
     /** Fill a line after a miss completes (handles victims). */
     void fillLine(std::uint64_t line_paddr, Mesi state);
 
+    /** Attach the protocol oracle (Machine construction). */
+    void setOracle(ProtocolOracle *o) { oracle_ = o; }
+
   private:
     struct AccessAwaiter {
         Proc &p;
@@ -166,6 +170,7 @@ class Proc
     ProcId id_;
     Node &node_;
     Machine &machine_;
+    ProtocolOracle *oracle_ = nullptr;
     const MachineConfig &cfg_;
     EventQueue &eq_;
     LineGeometry geo_;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/rng.hh"
 #include "sim/types.hh"
 
 namespace prism {
@@ -37,10 +38,20 @@ class Network
         Cycles controlOccupancy = 8;  //!< NIC occupancy, header message
         Cycles dataOccupancy = 16;    //!< NIC occupancy, line-carrying
         Cycles pageOccupancy = 128;   //!< NIC occupancy, page-carrying
+        /**
+         * Schedule fuzzing: maximum extra delivery delay per message,
+         * drawn deterministically from jitterSeed.  Per-(src, dst)
+         * FIFO order is preserved.  0 = bit-identical to the
+         * unjittered network.
+         */
+        Cycles jitterMax = 0;
+        std::uint64_t jitterSeed = 1;
     };
 
     Network(EventQueue &eq, std::uint32_t num_nodes, const Params &p)
-        : eq_(eq), params_(p), egress_(num_nodes), ingress_(num_nodes)
+        : eq_(eq), params_(p), egress_(num_nodes), ingress_(num_nodes),
+          jitterRng_(p.jitterSeed), numNodes_(num_nodes),
+          lastDeliver_(p.jitterMax ? num_nodes * num_nodes : 0)
     {
     }
 
@@ -60,7 +71,18 @@ class Network
         Tick out_done = egress_[src].acquire(eq_.now(), occ) + occ;
         Tick wire = (src == dst) ? 0 : params_.oneWayLatency;
         Tick in_start = ingress_[dst].acquire(out_done + wire, occ);
-        eq_.schedule(in_start + occ, std::forward<F>(deliver));
+        Tick at = in_start + occ;
+        if (params_.jitterMax) {
+            at += jitterRng_.below(params_.jitterMax + 1);
+            // Clamp to strictly increasing per (src, dst): the event
+            // queue does not promise stable ordering of equal ticks,
+            // and the protocol relies on pairwise FIFO delivery.
+            Tick &last = lastDeliver_[src * numNodes_ + dst];
+            if (at <= last)
+                at = last + 1;
+            last = at;
+        }
+        eq_.schedule(at, std::forward<F>(deliver));
     }
 
     /** Latency a message of @p size would see with no contention. */
@@ -93,6 +115,10 @@ class Network
     Params params_;
     std::vector<FcfsResource> egress_;
     std::vector<FcfsResource> ingress_;
+    Rng jitterRng_;
+    std::uint32_t numNodes_;
+    /** Last delivery tick per (src, dst); empty when jitter is off. */
+    std::vector<Tick> lastDeliver_;
     std::uint64_t messages_ = 0;
     std::uint64_t bytesProxy_ = 0;
 };

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include "coherence/directory.hh"
+#include "coherence/msg.hh"
+#include "coherence/pit.hh"
 #include "core/machine.hh"
 #include "core/sync.hh"
 #include "os/frame_pool.hh"
@@ -72,6 +75,75 @@ TEST(Death, FramePoolDoubleReleasePanics)
             p.release(0); // nothing was allocated
         },
         "empty pool");
+}
+
+TEST(Death, PitDoubleInstallPanics)
+{
+    EXPECT_DEATH(
+        {
+            Pit pit(1, 1);
+            pit.installLocal(3, 64);
+            pit.installLocal(3, 64); // frame 3 is already mapped
+        },
+        "PIT entry already present");
+}
+
+TEST(Death, PitAbsentRemovePanics)
+{
+    EXPECT_DEATH(
+        {
+            Pit pit(1, 1);
+            pit.remove(7); // never installed
+        },
+        "removing absent PIT entry");
+}
+
+TEST(Death, DirectoryAdoptPresentPagePanics)
+{
+    EXPECT_DEATH(
+        {
+            Directory dir(8, 2, 22, 64);
+            dir.createPage(0x42, DirState::Uncached, kInvalidNode);
+            dir.adoptPage(0x42, std::vector<DirEntry>(64));
+        },
+        "adopting an already-present page");
+}
+
+TEST(Death, DirectoryReleaseAbsentPagePanics)
+{
+    EXPECT_DEATH(
+        {
+            Directory dir(8, 2, 22, 64);
+            dir.releasePage(0x42); // never created
+        },
+        "releasing an absent page");
+}
+
+TEST(Death, RegistryPointingAtSelfPanics)
+{
+    // A static home whose registry names itself as dynamic home while
+    // its directory lacks the page would forward the request back to
+    // itself forever; the controller must panic instead.
+    EXPECT_DEATH(
+        {
+            MachineConfig cfg;
+            cfg.numNodes = 1;
+            cfg.procsPerNode = 1;
+            Machine m(cfg);
+            auto &ctrl = m.node(0).controller();
+            ctrl.installHomeMapping(1, 0); // registry_[0] = self
+            ctrl.directory().removePage(0);
+            Msg req;
+            req.type = MsgType::ReqS;
+            req.src = 0;
+            req.dst = 0;
+            req.requester = 0;
+            req.gpage = 0;
+            req.lineIdx = 0;
+            ctrl.onMessage(std::move(req));
+            m.eventQueue().runAll();
+        },
+        "registry points at");
 }
 
 TEST(Death, TooManyNodesIsFatal)

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Environment-knob parsing: every env parser must accept its documented
+ * values and fail fast — naming the valid values — on anything else.
+ * Covers PRISM_SCALE / PRISM_APPS (bench/bench_util.hh) and
+ * PRISM_ORACLE (core/config + Machine construction).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "bench/bench_util.hh"
+#include "core/machine.hh"
+
+namespace prism {
+namespace {
+
+using bench::appsFromEnv;
+using bench::scaleFromEnv;
+
+TEST(EnvConfig, ScaleParsesDocumentedValues)
+{
+    unsetenv("PRISM_SCALE");
+    EXPECT_EQ(scaleFromEnv(), AppScale::Paper);
+    setenv("PRISM_SCALE", "paper", 1);
+    EXPECT_EQ(scaleFromEnv(), AppScale::Paper);
+    setenv("PRISM_SCALE", "small", 1);
+    EXPECT_EQ(scaleFromEnv(), AppScale::Small);
+    setenv("PRISM_SCALE", "tiny", 1);
+    EXPECT_EQ(scaleFromEnv(), AppScale::Tiny);
+    unsetenv("PRISM_SCALE");
+}
+
+TEST(EnvConfig, UnknownScaleFailsFastListingValidNames)
+{
+    setenv("PRISM_SCALE", "medium", 1);
+    EXPECT_EXIT(scaleFromEnv(), ::testing::ExitedWithCode(1),
+                "unknown PRISM_SCALE 'medium' \\(valid: paper small "
+                "tiny\\)");
+    unsetenv("PRISM_SCALE");
+}
+
+TEST(EnvConfig, AppsFilterSelectsBySubstring)
+{
+    setenv("PRISM_APPS", "Water", 1);
+    auto apps = appsFromEnv(AppScale::Tiny);
+    ASSERT_FALSE(apps.empty());
+    for (const auto &a : apps)
+        EXPECT_NE(a.name.find("Water"), std::string::npos) << a.name;
+    unsetenv("PRISM_APPS");
+    EXPECT_EQ(appsFromEnv(AppScale::Tiny).size(),
+              standardApps(AppScale::Tiny).size());
+}
+
+TEST(EnvConfig, UnmatchedAppsFilterFailsFastListingValidNames)
+{
+    setenv("PRISM_APPS", "no-such-app", 1);
+    EXPECT_EXIT(appsFromEnv(AppScale::Tiny),
+                ::testing::ExitedWithCode(1),
+                "matches no application; valid names:");
+    unsetenv("PRISM_APPS");
+}
+
+TEST(EnvConfig, OracleModeParserAcceptsAllNames)
+{
+    OracleMode m = OracleMode::Off;
+    EXPECT_TRUE(oracleModeFromString("off", &m));
+    EXPECT_EQ(m, OracleMode::Off);
+    EXPECT_TRUE(oracleModeFromString("quiescent", &m));
+    EXPECT_EQ(m, OracleMode::Quiescent);
+    EXPECT_TRUE(oracleModeFromString("continuous", &m));
+    EXPECT_EQ(m, OracleMode::Continuous);
+    EXPECT_FALSE(oracleModeFromString("sometimes", &m));
+    EXPECT_FALSE(oracleModeFromString("", &m));
+    EXPECT_FALSE(oracleModeFromString(nullptr, &m));
+
+    for (OracleMode mode : {OracleMode::Off, OracleMode::Quiescent,
+                            OracleMode::Continuous}) {
+        OracleMode back = OracleMode::Off;
+        ASSERT_TRUE(oracleModeFromString(oracleModeName(mode), &back));
+        EXPECT_EQ(back, mode);
+    }
+}
+
+TEST(EnvConfig, MachineHonorsOracleEnv)
+{
+    setenv("PRISM_ORACLE", "continuous", 1);
+    MachineConfig cfg;
+    cfg.numNodes = 2;
+    cfg.procsPerNode = 1;
+    Machine m(cfg);
+    EXPECT_NE(m.oracle(), nullptr);
+    unsetenv("PRISM_ORACLE");
+}
+
+TEST(EnvConfig, UnknownOracleEnvFailsFastListingValidNames)
+{
+    setenv("PRISM_ORACLE", "always", 1);
+    MachineConfig cfg;
+    cfg.numNodes = 2;
+    cfg.procsPerNode = 1;
+    EXPECT_EXIT(Machine m(cfg), ::testing::ExitedWithCode(1),
+                "unknown PRISM_ORACLE 'always' \\(valid: off quiescent "
+                "continuous\\)");
+    unsetenv("PRISM_ORACLE");
+}
+
+} // namespace
+} // namespace prism

@@ -18,10 +18,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <tuple>
 
+#include "check/oracle.hh"
 #include "core/machine.hh"
 #include "sim/rng.hh"
 #include "workload/workload.hh"
@@ -197,6 +199,10 @@ TEST_P(CoherenceProperty, RandomTrafficPreservesInvariants)
     cfg.seed = c.seed;
     cfg.migrationEnabled = c.migrate;
     cfg.migrationThreshold = 32; // migrate aggressively under churn
+    // The in-flight oracle watches every transition while the
+    // structural sweep below checks the quiescent end state.
+    cfg.oracleMode = OracleMode::Continuous;
+    cfg.oracleFatal = false;
     Machine m(cfg);
     std::uint64_t gsid = m.shmget(0xC0FFEE, 8 * kPageBytes);
     m.shmatAll(kSharedVsid, gsid);
@@ -204,6 +210,60 @@ TEST_P(CoherenceProperty, RandomTrafficPreservesInvariants)
         return chaos(p, gsid, 8, c.seed, 400);
     });
     checkInvariants(m);
+    EXPECT_EQ(m.oracle()->violationCount(), 0u)
+        << m.oracle()->violations().front().what;
+}
+
+/**
+ * Seed sweep: the same chaos run under a seed taken from
+ * PRISM_PROPERTY_SEED.  tests/CMakeLists.txt registers one ctest entry
+ * per seed so a failing seed shows up by name in the ctest summary;
+ * the seed is also printed on any failure below.
+ */
+TEST(CoherenceSeedSweep, RandomTrafficPreservesInvariants)
+{
+    const char *env = std::getenv("PRISM_PROPERTY_SEED");
+    if (!env)
+        GTEST_SKIP() << "PRISM_PROPERTY_SEED not set";
+    const std::uint64_t seed = std::strtoull(env, nullptr, 10);
+    SCOPED_TRACE("PRISM_PROPERTY_SEED=" + std::string(env));
+
+    // Rotate policy and cap with the seed so the sweep covers the
+    // whole configuration space as it grows.
+    static const Cfg kRotation[] = {
+        Cfg{PolicyKind::Scoma, 0, 0},
+        Cfg{PolicyKind::LaNuma, 0, 0},
+        Cfg{PolicyKind::Scoma70, 0, 2},
+        Cfg{PolicyKind::DynFcfs, 0, 3},
+        Cfg{PolicyKind::DynUtil, 0, 2},
+        Cfg{PolicyKind::DynLru, 0, 1},
+        Cfg{PolicyKind::DynBoth, 0, 2},
+        Cfg{PolicyKind::Scoma, 0, 0, true},
+    };
+    Cfg c = kRotation[seed % (sizeof(kRotation) / sizeof(kRotation[0]))];
+    c.seed = seed * 0x9E3779B9u + 101;
+
+    MachineConfig cfg;
+    cfg.numNodes = 4;
+    cfg.procsPerNode = 2;
+    cfg.policy = c.policy;
+    cfg.clientFrameCap = c.cap;
+    cfg.seed = c.seed;
+    cfg.migrationEnabled = c.migrate;
+    cfg.migrationThreshold = 32;
+    cfg.oracleMode = OracleMode::Continuous;
+    cfg.oracleFatal = false;
+    cfg.netJitterMax = seed % 3 ? 32 : 0; // mix jittered schedules in
+    cfg.jitterSeed = seed;
+    Machine m(cfg);
+    std::uint64_t gsid = m.shmget(0xC0FFEE, 8 * kPageBytes);
+    m.shmatAll(kSharedVsid, gsid);
+    m.run([&](Proc &p) {
+        return chaos(p, gsid, 8, c.seed, 400);
+    });
+    checkInvariants(m);
+    EXPECT_EQ(m.oracle()->violationCount(), 0u)
+        << m.oracle()->violations().front().what;
 }
 
 INSTANTIATE_TEST_SUITE_P(
