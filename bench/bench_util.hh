@@ -8,6 +8,13 @@
  *                 a filter matching nothing is a fatal error)
  *   PRISM_JOBS  = worker threads for the parallel sweep runner
  *                 (default: hardware concurrency; `--jobs N` wins)
+ *
+ * Common CLI (BenchOptions::parse):
+ *   --report <path>   write a schema-versioned JSON report
+ *   --jobs <n>        worker threads (overrides PRISM_JOBS)
+ *   --list            print the application inventory and exit
+ *                     (benches that support it)
+ * Bench-specific flags (e.g. --ccnuma) pass through via extra().
  */
 
 #ifndef PRISM_BENCH_BENCH_UTIL_HH
@@ -16,11 +23,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "obs/json.hh"
+#include "obs/report.hh"
+#include "sim/logging.hh"
 #include "workload/apps.hh"
 #include "workload/experiment.hh"
+#include "workload/parallel_runner.hh"
 
 namespace prism {
 namespace bench {
@@ -106,6 +118,143 @@ banner(const char *what, unsigned jobs = 0)
     if (jobs)
         std::printf("; jobs: %u (PRISM_JOBS/--jobs to change)", jobs);
     std::printf("\n\n");
+}
+
+/**
+ * The unified bench command line.  Every table/figure bench parses its
+ * arguments through here so that `--report`, `--jobs` and `--list`
+ * behave identically across the suite; flags a bench defines for
+ * itself (e.g. pit_sensitivity's `--ccnuma`) are collected in extra_
+ * and queried with flag().
+ */
+struct BenchOptions {
+    AppScale scale = AppScale::Paper;
+    unsigned jobs = 1;
+    std::vector<AppSpec> apps;
+    std::string reportPath; //!< empty when --report was not given
+    bool list = false;
+
+    static BenchOptions
+    parse(int argc, char **argv)
+    {
+        BenchOptions o;
+        o.scale = scaleFromEnv();
+        o.apps = appsFromEnv(o.scale);
+        o.jobs = jobsFromArgs(argc, argv);
+        for (int i = 1; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--report") && i + 1 < argc) {
+                o.reportPath = argv[++i];
+            } else if (!std::strncmp(argv[i], "--report=", 9)) {
+                o.reportPath = argv[i] + 9;
+            } else if (!std::strcmp(argv[i], "--report")) {
+                fatal("--report requires a path argument");
+            } else if (!std::strcmp(argv[i], "--jobs") &&
+                       i + 1 < argc) {
+                ++i; // value consumed by jobsFromArgs above
+            } else if (!std::strncmp(argv[i], "--jobs=", 7)) {
+                // handled by jobsFromArgs above
+            } else if (!std::strcmp(argv[i], "--list")) {
+                o.list = true;
+            } else {
+                o.extra_.push_back(argv[i]);
+            }
+        }
+        return o;
+    }
+
+    /** True when a bench-specific flag (e.g. "--ccnuma") was given. */
+    bool
+    flag(const char *name) const
+    {
+        for (const std::string &e : extra_) {
+            if (e == name)
+                return true;
+        }
+        return false;
+    }
+
+    bool wantReport() const { return !reportPath.empty(); }
+
+  private:
+    std::vector<std::string> extra_;
+};
+
+/**
+ * One run inside a bench report: which (app, policy, variant) the
+ * attached RunReport describes.  `variant` distinguishes runs the
+ * sweep dimensions don't (e.g. cache_sensitivity's machine shapes).
+ */
+struct BenchRun {
+    std::string app;
+    std::string policy;
+    std::string variant; //!< empty unless the bench adds a dimension
+    const RunReport *report = nullptr;
+};
+
+/**
+ * Write a "prism.bench_report" JSON document: bench identity, scale,
+ * and the full per-run reports.  Shares the run-report schema version
+ * (each embedded run carries its own "schema" marker too).
+ */
+inline void
+writeBenchReport(const std::string &path, const char *bench,
+                 AppScale scale, const std::vector<BenchRun> &runs)
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot open --report file '%s'", path.c_str());
+        return;
+    }
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema", "prism.bench_report");
+    w.kv("schemaVersion", kRunReportSchemaVersion);
+    w.kv("bench", bench);
+    w.kv("scale", scaleName(scale));
+    w.key("runs");
+    w.beginArray();
+    for (const BenchRun &r : runs) {
+        w.beginObject();
+        w.kv("app", r.app);
+        w.kv("policy", r.policy);
+        if (!r.variant.empty())
+            w.kv("variant", r.variant);
+        w.key("report");
+        r.report->writeJson(w);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+    std::printf("# wrote report: %s\n", path.c_str());
+}
+
+/** Adapt a policy-sweep result vector to writeBenchReport(). */
+inline void
+writeSweepReport(const std::string &path, const char *bench,
+                 AppScale scale,
+                 const std::vector<ExperimentResult> &results)
+{
+    std::vector<BenchRun> runs;
+    runs.reserve(results.size());
+    for (const ExperimentResult &r : results)
+        runs.push_back(BenchRun{r.app, policyName(r.policy), "",
+                                &r.report});
+    writeBenchReport(path, bench, scale, runs);
+}
+
+/** Write a single machine's run report (single-run benches). */
+inline void
+writeSingleReport(const std::string &path, const RunReport &report)
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot open --report file '%s'", path.c_str());
+        return;
+    }
+    report.writeJson(os);
+    os << "\n";
+    std::printf("# wrote report: %s\n", path.c_str());
 }
 
 } // namespace bench

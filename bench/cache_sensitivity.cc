@@ -32,7 +32,8 @@ main(int argc, char **argv)
     using namespace prism;
     using namespace prism::bench;
 
-    const unsigned jobs = jobsFromArgs(argc, argv);
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
+    const unsigned jobs = opts.jobs;
     banner("Section 4.2 — cache-size sensitivity of the page-mode "
            "choice (LANUMA time / SCOMA time)",
            jobs);
@@ -47,9 +48,10 @@ main(int argc, char **argv)
 
     // 2 shapes x 2 policies per app, all independent: run the whole
     // grid on the pool, print in app order afterwards.
-    const auto apps = appsFromEnv(scaleFromEnv());
+    const auto &apps = opts.apps;
     struct Cell {
         RunMetrics scoma, lanuma;
+        RunReport scomaReport, lanumaReport;
     };
     std::vector<std::array<Cell, 2>> grid(apps.size());
     {
@@ -66,10 +68,12 @@ main(int argc, char **argv)
                 const AppSpec &app = apps[i];
                 Cell &cell = grid[i][j];
                 pool.submit([&cell, &app, scoma] {
-                    cell.scoma = runOnce(scoma, app);
+                    cell.scoma =
+                        runOnce(scoma, app, &cell.scomaReport);
                 });
                 pool.submit([&cell, &app, lanuma] {
-                    cell.lanuma = runOnce(lanuma, app);
+                    cell.lanuma =
+                        runOnce(lanuma, app, &cell.lanumaReport);
                 });
             }
         }
@@ -91,5 +95,22 @@ main(int argc, char **argv)
                 "collapses toward 1.0 because\n# capacity-related "
                 "misses vanish and only communication misses remain "
                 "— they\n# cost the same in either page mode.\n");
+    if (opts.wantReport()) {
+        std::vector<BenchRun> runs;
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            for (std::size_t j = 0; j < 2; ++j) {
+                runs.push_back(BenchRun{apps[i].name,
+                                        policyName(PolicyKind::Scoma),
+                                        shapes[j].name,
+                                        &grid[i][j].scomaReport});
+                runs.push_back(BenchRun{apps[i].name,
+                                        policyName(PolicyKind::LaNuma),
+                                        shapes[j].name,
+                                        &grid[i][j].lanumaReport});
+            }
+        }
+        writeBenchReport(opts.reportPath, "cache_sensitivity",
+                         opts.scale, runs);
+    }
     return 0;
 }

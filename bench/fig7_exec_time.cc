@@ -11,7 +11,6 @@
  */
 
 #include <cstdio>
-#include <cstring>
 
 #include "bench_util.hh"
 #include "workload/parallel_runner.hh"
@@ -22,13 +21,13 @@ main(int argc, char **argv)
     using namespace prism;
     using namespace prism::bench;
 
-    const AppScale scale = scaleFromEnv();
-    if (argc > 1 && !std::strcmp(argv[1], "--list")) {
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
+    if (opts.list) {
         std::printf("# PRISM reproduction: Table 2 — application "
                     "benchmark types and data sets (%s scale)\n\n",
-                    scaleName(scale));
+                    scaleName(opts.scale));
         std::printf("%-12s %s\n", "Application", "Problem Size");
-        for (const auto &app : appsFromEnv(scale)) {
+        for (const auto &app : opts.apps) {
             auto w = app.make();
             std::printf("%-12s %s\n", app.name.c_str(),
                         w->sizeDesc().c_str());
@@ -36,7 +35,7 @@ main(int argc, char **argv)
         return 0;
     }
 
-    const unsigned jobs = jobsFromArgs(argc, argv);
+    const unsigned jobs = opts.jobs;
     banner("Figure 7 — execution time under different page modes, "
            "normalized to SCOMA",
            jobs);
@@ -48,7 +47,7 @@ main(int argc, char **argv)
     std::printf("  (exec cycles, SCOMA)\n");
 
     MachineConfig base; // paper machine
-    const auto apps = appsFromEnv(scale);
+    const auto &apps = opts.apps;
     const auto results = runSweepsParallel(base, apps, policies, jobs);
     for (std::size_t a = 0; a < apps.size(); ++a) {
         const ExperimentResult *row = &results[a * policies.size()];
@@ -70,5 +69,8 @@ main(int argc, char **argv)
                 "capacity-bound apps (Barnes/LU/Ocean/Radix, up to "
                 "2.8-4.6x);\n# adaptive policies within ~10%% of SCOMA "
                 "except Barnes/Ocean on Dyn-Util/Dyn-LRU.\n");
+    if (opts.wantReport())
+        writeSweepReport(opts.reportPath, "fig7_exec_time", opts.scale,
+                         results);
     return 0;
 }

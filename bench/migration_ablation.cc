@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "core/machine.hh"
 #include "workload/workload.hh"
 
@@ -54,7 +55,7 @@ phased(Proc &p, std::uint32_t nt)
 }
 
 RunMetrics
-runConfig(bool migration)
+runConfig(bool migration, RunReport *report)
 {
     MachineConfig cfg;
     cfg.migrationEnabled = migration;
@@ -63,23 +64,29 @@ runConfig(bool migration)
     std::uint64_t gsid = m.shmget(kKey, (kPages + 4) * kPageBytes);
     m.shmatAll(kSharedVsid, gsid);
     m.run([&](Proc &p) { return phased(p, m.numProcs()); });
-    return m.metrics();
+    RunMetrics r = m.metrics();
+    if (report)
+        *report = m.report();
+    return r;
 }
 
 } // namespace
 } // namespace prism
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prism;
+    using namespace prism::bench;
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
     std::printf("# PRISM ablation: lazy page migration on a "
                 "phase-shifting workload\n");
     std::printf("# (%u pages, %u phases, ownership rotates across "
                 "nodes)\n\n", kPages, kPhases);
 
-    RunMetrics off = runConfig(false);
-    RunMetrics on = runConfig(true);
+    RunReport off_report, on_report;
+    RunMetrics off = runConfig(false, &off_report);
+    RunMetrics on = runConfig(true, &on_report);
 
     std::printf("%-28s %14s %14s\n", "metric", "migration OFF",
                 "migration ON");
@@ -101,5 +108,14 @@ main()
                 "its current writer, cutting\n# remote misses sharply "
                 "at the price of a burst of forwarded requests per "
                 "phase\n# shift (lazy PIT-hint refresh).\n");
+    if (opts.wantReport()) {
+        std::vector<BenchRun> runs;
+        runs.push_back(BenchRun{"phased", "SCOMA", "migration-off",
+                                &off_report});
+        runs.push_back(BenchRun{"phased", "SCOMA", "migration-on",
+                                &on_report});
+        writeBenchReport(opts.reportPath, "migration_ablation",
+                         opts.scale, runs);
+    }
     return 0;
 }

@@ -23,16 +23,11 @@ main(int argc, char **argv)
     using namespace prism;
     using namespace prism::bench;
 
-    bool with_ccnuma = false;
-    bool with_dirhints = false;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--ccnuma"))
-            with_ccnuma = true;
-        else if (!std::strcmp(argv[i], "--dirhints"))
-            with_dirhints = true;
-    }
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
+    const bool with_ccnuma = opts.flag("--ccnuma");
+    const bool with_dirhints = opts.flag("--dirhints");
 
-    const unsigned jobs = jobsFromArgs(argc, argv);
+    const unsigned jobs = opts.jobs;
     banner("Section 4.3 — PIT in DRAM (10 cycles) vs SRAM (2 cycles), "
            "LANUMA configuration",
            jobs);
@@ -49,8 +44,9 @@ main(int argc, char **argv)
     // pool, then print rows in app order.
     struct Row {
         RunMetrics sram, dram, hints, ccnuma;
+        RunReport sramReport, dramReport, hintsReport, ccnumaReport;
     };
-    const auto apps = appsFromEnv(scaleFromEnv());
+    const auto &apps = opts.apps;
     std::vector<Row> rows(apps.size());
     {
         TaskPool pool(jobs);
@@ -63,24 +59,28 @@ main(int argc, char **argv)
 
             const AppSpec &app = apps[i];
             Row &row = rows[i];
-            pool.submit(
-                [&row, &app, sram] { row.sram = runOnce(sram, app); });
-            pool.submit(
-                [&row, &app, dram] { row.dram = runOnce(dram, app); });
+            pool.submit([&row, &app, sram] {
+                row.sram = runOnce(sram, app, &row.sramReport);
+            });
+            pool.submit([&row, &app, dram] {
+                row.dram = runOnce(dram, app, &row.dramReport);
+            });
             if (with_dirhints) {
                 // Section 4.3's mitigation: client frame numbers
                 // cached in the directory remove the PIT hash walk
                 // from the invalidation path.
                 MachineConfig dh = dram;
                 dh.dirClientFrameHints = true;
-                pool.submit(
-                    [&row, &app, dh] { row.hints = runOnce(dh, app); });
+                pool.submit([&row, &app, dh] {
+                    row.hints = runOnce(dh, app, &row.hintsReport);
+                });
             }
             if (with_ccnuma) {
                 MachineConfig cc = sram;
                 cc.ccNumaBypass = true;
-                pool.submit(
-                    [&row, &app, cc] { row.ccnuma = runOnce(cc, app); });
+                pool.submit([&row, &app, cc] {
+                    row.ccnuma = runOnce(cc, app, &row.ccnumaReport);
+                });
             }
         }
         pool.wait();
@@ -121,5 +121,25 @@ main(int argc, char **argv)
                 "Barnes.  A DRAM PIT hurts most where\n# remote misses "
                 "and invalidations (hash reverse translations) are "
                 "most frequent.\n");
+    if (opts.wantReport()) {
+        const char *lanuma = policyName(PolicyKind::LaNuma);
+        std::vector<BenchRun> runs;
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            runs.push_back(BenchRun{apps[i].name, lanuma, "SRAM-PIT",
+                                    &rows[i].sramReport});
+            runs.push_back(BenchRun{apps[i].name, lanuma, "DRAM-PIT",
+                                    &rows[i].dramReport});
+            if (with_dirhints)
+                runs.push_back(BenchRun{apps[i].name, lanuma,
+                                        "DRAM+dirhints",
+                                        &rows[i].hintsReport});
+            if (with_ccnuma)
+                runs.push_back(BenchRun{apps[i].name, lanuma,
+                                        "CC-NUMA",
+                                        &rows[i].ccnumaReport});
+        }
+        writeBenchReport(opts.reportPath, "pit_sensitivity",
+                         opts.scale, runs);
+    }
     return 0;
 }

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_util.hh"
 #include "core/machine.hh"
 #include "workload/workload.hh"
 
@@ -164,9 +165,11 @@ measure(Proc &p)
 } // namespace prism
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prism;
+    using namespace prism::bench;
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
     std::printf("# PRISM reproduction: Table 1 — cache miss latencies "
                 "and page fault overheads\n");
     std::printf("# (uncontended; processor cycles)\n\n");
@@ -211,5 +214,7 @@ main()
                 "invalidation sends at the\n# home controller; page "
                 "fault rows include the first post-fault miss, as in "
                 "the\n# paper's microbenchmark.\n");
+    if (opts.wantReport())
+        writeSingleReport(opts.reportPath, m.report());
     return 0;
 }

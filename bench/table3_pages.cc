@@ -11,25 +11,36 @@
 #include "bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace prism;
     using namespace prism::bench;
 
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
     banner("Table 3 — page consumption and utilization statistics");
 
     std::printf("%-12s %12s %12s %14s %14s\n", "Application",
                 "SCOMA", "LANUMA", "SCOMA util", "LANUMA util");
 
     MachineConfig base;
-    for (const auto &app : appsFromEnv(scaleFromEnv())) {
+    std::vector<RunReport> reports;
+    std::vector<BenchRun> runs;
+    reports.reserve(opts.apps.size() * 2);
+    for (const auto &app : opts.apps) {
         MachineConfig scoma_cfg = base;
         scoma_cfg.policy = PolicyKind::Scoma;
-        RunMetrics s = runOnce(scoma_cfg, app);
+        reports.emplace_back();
+        RunMetrics s = runOnce(scoma_cfg, app, &reports.back());
+        runs.push_back(BenchRun{app.name, policyName(PolicyKind::Scoma),
+                                "", &reports.back()});
 
         MachineConfig lanuma_cfg = base;
         lanuma_cfg.policy = PolicyKind::LaNuma;
-        RunMetrics l = runOnce(lanuma_cfg, app);
+        reports.emplace_back();
+        RunMetrics l = runOnce(lanuma_cfg, app, &reports.back());
+        runs.push_back(BenchRun{app.name,
+                                policyName(PolicyKind::LaNuma), "",
+                                &reports.back()});
 
         std::printf("%-12s %12llu %12llu %14.3f %14.3f\n",
                     app.name.c_str(),
@@ -42,5 +53,8 @@ main()
                 "frames than LANUMA (client\n# page-cache copies) and "
                 "has lower utilization (sparsely used replicated "
                 "pages).\n");
+    if (opts.wantReport())
+        writeBenchReport(opts.reportPath, "table3_pages", opts.scale,
+                         runs);
     return 0;
 }

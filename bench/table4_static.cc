@@ -16,7 +16,8 @@ main(int argc, char **argv)
     using namespace prism;
     using namespace prism::bench;
 
-    const unsigned jobs = jobsFromArgs(argc, argv);
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
+    const unsigned jobs = opts.jobs;
     banner("Table 4 — remote misses (static configs) and SCOMA-70 "
            "page-outs",
            jobs);
@@ -27,7 +28,7 @@ main(int argc, char **argv)
     MachineConfig base;
     const std::vector<PolicyKind> policies = {
         PolicyKind::Scoma, PolicyKind::LaNuma, PolicyKind::Scoma70};
-    const auto apps = appsFromEnv(scaleFromEnv());
+    const auto &apps = opts.apps;
     const auto results = runSweepsParallel(base, apps, policies, jobs);
     for (std::size_t a = 0; a < apps.size(); ++a) {
         const ExperimentResult *rs = &results[a * policies.size()];
@@ -46,5 +47,8 @@ main(int argc, char **argv)
     std::printf("\n# Paper's shape: LANUMA suffers many times more "
                 "remote misses than SCOMA on\n# capacity-bound apps; "
                 "SCOMA-70 sits between them but pays page-outs.\n");
+    if (opts.wantReport())
+        writeSweepReport(opts.reportPath, "table4_static", opts.scale,
+                         results);
     return 0;
 }

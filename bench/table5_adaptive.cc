@@ -16,7 +16,8 @@ main(int argc, char **argv)
     using namespace prism;
     using namespace prism::bench;
 
-    const unsigned jobs = jobsFromArgs(argc, argv);
+    const BenchOptions opts = BenchOptions::parse(argc, argv);
+    const unsigned jobs = opts.jobs;
     banner("Table 5 — remote misses and page-outs, adaptive configs",
            jobs);
 
@@ -26,7 +27,7 @@ main(int argc, char **argv)
     MachineConfig base;
     const std::vector<PolicyKind> policies = {
         PolicyKind::DynFcfs, PolicyKind::DynUtil, PolicyKind::DynLru};
-    const auto apps = appsFromEnv(scaleFromEnv());
+    const auto &apps = opts.apps;
     const auto results = runSweepsParallel(base, apps, policies, jobs);
     for (std::size_t a = 0; a < apps.size(); ++a) {
         const ExperimentResult *rs = &results[a * policies.size()];
@@ -47,5 +48,8 @@ main(int argc, char **argv)
     std::printf("\n# Paper's shape: the adaptive configurations cut "
                 "remote misses well below\n# LANUMA and page-outs far "
                 "below SCOMA-70 (Dyn-FCFS has none at all).\n");
+    if (opts.wantReport())
+        writeSweepReport(opts.reportPath, "table5_adaptive", opts.scale,
+                         results);
     return 0;
 }

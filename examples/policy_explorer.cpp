@@ -153,7 +153,7 @@ main(int argc, char **argv)
         std::printf("\nfull counter registry (%s):\n",
                     policyName(policy));
         std::ostringstream os;
-        m2.statRegistry().dump(os);
+        m2.metricRegistry().dump(os);
         std::fputs(os.str().c_str(), stdout);
     }
     return 0;

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Gate event-queue micro throughput against a baseline.
+
+Usage: check_bench_regression.py <baseline.json> <current.json> [pct]
+
+Both files are google-benchmark JSON outputs (the tier-1 run writes
+BENCH_event_queue.json).  For every benchmark present in both files
+the current real_time must not exceed the baseline by more than `pct`
+percent (default 2).  Benchmarks missing on either side are reported
+but do not fail the gate.
+"""
+
+import json
+import sys
+
+
+def times(path):
+    with open(path) as f:
+        doc = json.load(f)
+    raw = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if present.
+        if b.get("run_type") == "aggregate":
+            continue
+        raw.setdefault(b["name"], []).append(float(b["real_time"]))
+    # With --benchmark_repetitions the same name repeats; take the
+    # best repetition — the least noisy estimate of true cost.
+    return {name: min(vals) for name, vals in raw.items()}
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    baseline = times(sys.argv[1])
+    current = times(sys.argv[2])
+    limit_pct = float(sys.argv[3]) if len(sys.argv) == 4 else 2.0
+
+    failed = False
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline or name not in current:
+            print(f"check_bench_regression: SKIP {name} "
+                  f"(missing from one side)")
+            continue
+        base, cur = baseline[name], current[name]
+        delta_pct = 100.0 * (cur / base - 1.0)
+        status = "OK"
+        if delta_pct > limit_pct:
+            status = "FAIL"
+            failed = True
+        print(f"check_bench_regression: {status} {name}: "
+              f"{base:.1f} -> {cur:.1f} ns ({delta_pct:+.2f}%, "
+              f"limit +{limit_pct:.1f}%)")
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validate a PRISM JSON report (run report or bench report).
+
+Usage: validate_report.py <report.json>
+
+Checks the schema marker and version, and for every embedded run
+report verifies the required sections: config, phases, metrics,
+per-node counters, and latency histograms with ordered quantiles.
+Exits non-zero with a message on the first violation.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+RUN_REPORT_KEYS = [
+    "schema", "schemaVersion", "generatedAt", "config", "phases",
+    "metrics", "machineCounters", "nodes", "histograms",
+]
+
+CONFIG_KEYS = [
+    "numNodes", "procsPerNode", "policy", "seed", "l1Bytes",
+    "l2Bytes", "lineBytes", "migrationEnabled",
+]
+
+METRICS_KEYS = [
+    "execCycles", "totalCycles", "remoteMisses", "clientPageOuts",
+    "upgrades", "invalidations", "networkMessages", "pageFaults",
+    "framesAllocated", "avgUtilization", "references", "forwards",
+    "migrations", "clientScomaPeakPerNode",
+]
+
+HIST_KEYS = [
+    "component", "name", "unit", "count", "max", "mean",
+    "p50", "p95", "p99", "bounds", "counts",
+]
+
+
+def fail(msg):
+    print(f"validate_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_run_report(r, where):
+    for k in RUN_REPORT_KEYS:
+        require(k in r, f"{where}: missing key '{k}'")
+    require(r["schema"] == "prism.run_report",
+            f"{where}: bad schema marker {r['schema']!r}")
+    require(r["schemaVersion"] == SCHEMA_VERSION,
+            f"{where}: schemaVersion {r['schemaVersion']} != "
+            f"{SCHEMA_VERSION}")
+    for k in CONFIG_KEYS:
+        require(k in r["config"], f"{where}: config missing '{k}'")
+    for k in METRICS_KEYS:
+        require(k in r["metrics"], f"{where}: metrics missing '{k}'")
+
+    nodes = r["nodes"]
+    require(len(nodes) == r["config"]["numNodes"],
+            f"{where}: {len(nodes)} node sections for "
+            f"{r['config']['numNodes']} nodes")
+    for node in nodes:
+        require("id" in node and "counters" in node
+                and "gauges" in node,
+                f"{where}: malformed node section")
+        require(any(k.startswith("ctrl.") for k in node["counters"]),
+                f"{where}: node {node['id']} has no ctrl counters")
+
+    require(len(r["histograms"]) > 0, f"{where}: no histograms")
+    sampled = 0
+    for h in r["histograms"]:
+        for k in HIST_KEYS:
+            require(k in h, f"{where}: histogram missing '{k}'")
+        require(len(h["counts"]) == len(h["bounds"]) + 1,
+                f"{where}: {h['name']}: counts/bounds length mismatch")
+        require(sum(h["counts"]) == h["count"],
+                f"{where}: {h['name']}: bucket counts do not sum")
+        if h["count"] > 0:
+            sampled += 1
+            require(h["p50"] <= h["p95"] <= h["p99"],
+                    f"{where}: {h['name']}: quantiles out of order")
+    require(sampled > 0, f"{where}: every histogram is empty")
+
+    # Cross-check: RunMetrics is derived from the same counters the
+    # node sections show.  The metrics cover only the parallel phase
+    # (when the workload brackets it), so they can never exceed the
+    # whole-run per-node totals.
+    misses = sum(n["counters"].get("ctrl.remoteMisses", 0)
+                 for n in nodes)
+    require(r["metrics"]["remoteMisses"] <= misses,
+            f"{where}: metrics.remoteMisses "
+            f"{r['metrics']['remoteMisses']} exceeds per-node sum "
+            f"{misses}")
+    net = r["machineCounters"].get("net.messages", 0)
+    require(r["metrics"]["networkMessages"] <= net,
+            f"{where}: metrics.networkMessages exceeds net.messages")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path = sys.argv[1]
+    with open(path) as f:
+        doc = json.load(f)
+
+    schema = doc.get("schema")
+    if schema == "prism.bench_report":
+        require(doc.get("schemaVersion") == SCHEMA_VERSION,
+                f"bench schemaVersion != {SCHEMA_VERSION}")
+        for k in ("bench", "scale", "runs"):
+            require(k in doc, f"bench report missing '{k}'")
+        require(len(doc["runs"]) > 0, "bench report has no runs")
+        for i, run in enumerate(doc["runs"]):
+            for k in ("app", "policy", "report"):
+                require(k in run, f"runs[{i}] missing '{k}'")
+            check_run_report(run["report"],
+                             f"runs[{i}] ({run.get('app')}/"
+                             f"{run.get('policy')})")
+        print(f"validate_report: OK: {path}: bench "
+              f"'{doc['bench']}', {len(doc['runs'])} runs")
+    elif schema == "prism.run_report":
+        check_run_report(doc, path)
+        print(f"validate_report: OK: {path}: single run report")
+    else:
+        fail(f"unknown schema marker {schema!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "check/oracle.hh"
+#include "obs/trace_sink.hh"
 #include "sim/stats.hh"
 #include <cstdlib>
 
@@ -247,6 +248,7 @@ CoherenceController::runClientTxn(MsgType mt, PitEntry &e, FrameNum frame,
     ClientTxn txn(eq_);
     pending_[gl] = &txn;
 
+    const Tick t0 = eq_.now();
     co_await occupy(cfg_.ctrlOverhead); // compose request, dispatch
 
     Msg m;
@@ -278,8 +280,13 @@ CoherenceController::runClientTxn(MsgType mt, PitEntry &e, FrameNum frame,
             cur->homeFrameHint = txn.homeFrame;
     }
 
+    const char *txn_kind;
     if (txn.dataFetched) {
         ++stats_.remoteMisses;
+        ScopedHistogram &h =
+            txn.threeParty ? latency_.read3 : latency_.read2;
+        h.sample(eq_.now() - t0);
+        txn_kind = txn.threeParty ? "read3" : "read2";
         if (cur) {
             ++cur->remoteFetches;
             if (cur->mode == PageMode::Scoma)
@@ -287,6 +294,12 @@ CoherenceController::runClientTxn(MsgType mt, PitEntry &e, FrameNum frame,
         }
     } else {
         ++stats_.upgrades;
+        latency_.upgrade.sample(eq_.now() - t0);
+        txn_kind = "upgrade";
+    }
+    if (trace_) {
+        trace_->span(txn_kind, "coherence", static_cast<std::int32_t>(self_),
+                     static_cast<std::int32_t>(line_idx), t0, eq_.now());
     }
     out->source = MissSource::Remote;
     out->exclusive = txn.exclusive;
@@ -1004,6 +1017,7 @@ CoherenceController::handleHomeRequest(Msg m)
 FireAndForget
 CoherenceController::handleWriteback(Msg m)
 {
+    const Tick t0 = eq_.now();
     co_await occupy(cfg_.ctrlOverhead);
     if (!dir_.hasPage(m.gpage)) {
         forward(std::move(m));
@@ -1064,6 +1078,12 @@ CoherenceController::handleWriteback(Msg m)
                                          owner_id, true, false);
     }
     // Otherwise the writeback is stale (ownership already moved); drop.
+    latency_.writeback.sample(eq_.now() - t0);
+    if (trace_) {
+        trace_->span("writeback", "coherence",
+                     static_cast<std::int32_t>(self_),
+                     static_cast<std::int32_t>(m.lineIdx), t0, eq_.now());
+    }
 }
 
 FireAndForget
@@ -1218,6 +1238,7 @@ CoherenceController::handleClientReply(Msg m)
     ClientTxn *t = it->second;
     t->exclusive = m.exclusive;
     t->dataFetched = (m.type != MsgType::UpgAck) && (m.src != self_);
+    t->threeParty = (m.type == MsgType::DataFwd);
     if (m.dynHome != kInvalidNode)
         t->dynHome = m.dynHome;
     if (m.homeFrame != kInvalidFrame)
@@ -1281,6 +1302,7 @@ CoherenceController::maybeTriggerMigration(GPage gpage)
 FireAndForget
 CoherenceController::handleMigratePrep(Msg m)
 {
+    const Tick t0 = eq_.now();
     co_await occupy(cfg_.ctrlOverhead);
     const GPage gp = m.gpage;
     const NodeId new_home = static_cast<NodeId>(m.aux);
@@ -1343,6 +1365,11 @@ CoherenceController::handleMigratePrep(Msg m)
     host_.migrationFreeFrame(hf, gp);
     pit_.remove(hf);
     ++stats_.migrationsOut;
+    latency_.migration.sample(eq_.now() - t0);
+    if (trace_) {
+        trace_->span("migration", "paging",
+                     static_cast<std::int32_t>(self_), 0, t0, eq_.now());
+    }
 
     // Release the locks; queued handlers will find the page gone and
     // forward toward the new home.
@@ -1449,28 +1476,47 @@ CoherenceController::handleMigrateData(Msg m)
 }
 
 void
-CoherenceController::registerStats(StatRegistry &reg,
-                                   const std::string &prefix)
+CoherenceController::registerMetrics(MetricRegistry &reg)
 {
-    reg.add(prefix + ".remoteMisses", &stats_.remoteMisses,
+    const std::int32_t n = static_cast<std::int32_t>(self_);
+    auto counter = [&](const char *name, ScopedCounter &c,
+                       const char *desc) {
+        reg.bind(MetricLabels{"ctrl", n, name, "count"}, &c, desc);
+    };
+    counter("remoteMisses", stats_.remoteMisses,
             "misses that fetched data from a remote node");
-    reg.add(prefix + ".localMemHits", &stats_.localMemHits,
+    counter("localMemHits", stats_.localMemHits,
             "misses satisfied by local memory / page cache");
-    reg.add(prefix + ".upgrades", &stats_.upgrades,
+    counter("upgrades", stats_.upgrades,
             "write-permission transactions without data fetch");
-    reg.add(prefix + ".retries", &stats_.retries, "bus retries");
-    reg.add(prefix + ".invalsSent", &stats_.invalsSent, "");
-    reg.add(prefix + ".invalsReceived", &stats_.invalsReceived, "");
-    reg.add(prefix + ".fetchesServed", &stats_.fetchesServed, "");
-    reg.add(prefix + ".nacksSent", &stats_.nacksSent, "");
-    reg.add(prefix + ".writebacksSent", &stats_.writebacksSent, "");
-    reg.add(prefix + ".replaceHintsSent", &stats_.replaceHintsSent, "");
-    reg.add(prefix + ".forwards", &stats_.forwards,
+    counter("retries", stats_.retries, "bus retries");
+    counter("invalsSent", stats_.invalsSent, "");
+    counter("invalsReceived", stats_.invalsReceived, "");
+    counter("fetchesServed", stats_.fetchesServed, "");
+    counter("nacksSent", stats_.nacksSent, "");
+    counter("writebacksSent", stats_.writebacksSent, "");
+    counter("replaceHintsSent", stats_.replaceHintsSent, "");
+    counter("forwards", stats_.forwards,
             "misdirected requests forwarded (lazy migration)");
-    reg.add(prefix + ".homeRequests", &stats_.homeRequests, "");
-    reg.add(prefix + ".migrationsOut", &stats_.migrationsOut, "");
-    reg.add(prefix + ".migrationsIn", &stats_.migrationsIn, "");
-    reg.add(prefix + ".firewallRejects", &stats_.firewallRejects, "");
+    counter("homeRequests", stats_.homeRequests, "");
+    counter("migrationsOut", stats_.migrationsOut, "");
+    counter("migrationsIn", stats_.migrationsIn, "");
+    counter("firewallRejects", stats_.firewallRejects, "");
+
+    auto hist = [&](const char *name, ScopedHistogram &h,
+                    const char *desc) {
+        reg.bind(MetricLabels{"ctrl", n, name, "cycles"}, &h, desc);
+    };
+    hist("latency.read2", latency_.read2,
+         "2-party data-fetch transaction latency");
+    hist("latency.read3", latency_.read3,
+         "3-party (owner-forwarded) transaction latency");
+    hist("latency.upgrade", latency_.upgrade,
+         "permission-only upgrade latency");
+    hist("latency.writeback", latency_.writeback,
+         "home-side writeback handling latency");
+    hist("latency.migration", latency_.migration,
+         "migration prep-to-handoff latency");
 }
 
 } // namespace prism

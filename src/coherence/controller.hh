@@ -39,6 +39,7 @@
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "net/network.hh"
+#include "obs/metrics.hh"
 #include "sim/coro_sync.hh"
 #include "sim/event_queue.hh"
 #include "sim/task.hh"
@@ -46,6 +47,7 @@
 namespace prism {
 
 class ProtocolOracle;
+class TraceSink;
 
 /** How a processor miss was ultimately satisfied. */
 enum class MissSource : std::uint8_t {
@@ -118,23 +120,36 @@ class ControllerHost
     virtual void homeKernelDepart(GPage gp) = 0;
 };
 
-/** Per-node statistics the controller maintains. */
+/**
+ * Per-node statistics the controller maintains.  Scoped handles: hot
+ * paths still do plain integer increments, and once bound via
+ * registerMetrics the values are enumerable by label.
+ */
 struct ControllerStats {
-    std::uint64_t remoteMisses = 0;   //!< fetched data from a remote node
-    std::uint64_t localMemHits = 0;   //!< misses satisfied by local memory
-    std::uint64_t upgrades = 0;       //!< write permission w/o data fetch
-    std::uint64_t retries = 0;        //!< bus retries (Transit et al.)
-    std::uint64_t invalsSent = 0;
-    std::uint64_t invalsReceived = 0;
-    std::uint64_t fetchesServed = 0;  //!< 3-party interventions served
-    std::uint64_t nacksSent = 0;
-    std::uint64_t writebacksSent = 0;
-    std::uint64_t replaceHintsSent = 0;
-    std::uint64_t forwards = 0;       //!< misdirected requests forwarded
-    std::uint64_t homeRequests = 0;
-    std::uint64_t migrationsOut = 0;
-    std::uint64_t migrationsIn = 0;
-    std::uint64_t firewallRejects = 0;
+    ScopedCounter remoteMisses;   //!< fetched data from a remote node
+    ScopedCounter localMemHits;   //!< misses satisfied by local memory
+    ScopedCounter upgrades;       //!< write permission w/o data fetch
+    ScopedCounter retries;        //!< bus retries (Transit et al.)
+    ScopedCounter invalsSent;
+    ScopedCounter invalsReceived;
+    ScopedCounter fetchesServed;  //!< 3-party interventions served
+    ScopedCounter nacksSent;
+    ScopedCounter writebacksSent;
+    ScopedCounter replaceHintsSent;
+    ScopedCounter forwards;       //!< misdirected requests forwarded
+    ScopedCounter homeRequests;
+    ScopedCounter migrationsOut;
+    ScopedCounter migrationsIn;
+    ScopedCounter firewallRejects;
+};
+
+/** Per-transaction-type latency distributions (request to grant). */
+struct ControllerLatency {
+    ScopedHistogram read2{latencyBounds()};     //!< 2-party data fetch
+    ScopedHistogram read3{latencyBounds()};     //!< 3-party data fetch
+    ScopedHistogram upgrade{latencyBounds()};   //!< permission-only
+    ScopedHistogram writeback{latencyBounds()}; //!< home-side acceptance
+    ScopedHistogram migration{latencyBounds()}; //!< prep through handoff
 };
 
 /** The coherence controller of one node. */
@@ -273,8 +288,14 @@ class CoherenceController
      */
     NodeId registryLookup(GPage gpage) const;
 
-    /** Register this controller's counters under @p prefix. */
-    void registerStats(class StatRegistry &reg, const std::string &prefix);
+    /**
+     * Bind this controller's counters and latency histograms into
+     * @p reg under component "ctrl", node self().
+     */
+    void registerMetrics(MetricRegistry &reg);
+
+    /** Attach the optional Chrome-trace sink (nullptr to disable). */
+    void setTraceSink(TraceSink *t) { trace_ = t; }
 
     // --- Network side ------------------------------------------------------
 
@@ -294,6 +315,7 @@ class CoherenceController
         CoLatch latch;
         bool exclusive = false;
         bool dataFetched = false; //!< data crossed the network
+        bool threeParty = false;  //!< data supplied by the previous owner
         bool invalidatedMidFlight = false;
         NodeId dynHome = kInvalidNode;
         FrameNum homeFrame = kInvalidFrame;
@@ -382,10 +404,12 @@ class CoherenceController
     std::unordered_map<GPage, NodeId> movedTo_;
 
     ProtocolOracle *oracle_ = nullptr;
+    TraceSink *trace_ = nullptr;
     /** Remaining invalidations to skip (cfg.mutationSkipInvals). */
     std::uint32_t mutationBudget_ = 0;
 
     ControllerStats stats_;
+    ControllerLatency latency_;
 };
 
 } // namespace prism

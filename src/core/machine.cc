@@ -4,6 +4,7 @@
 #include <string>
 
 #include "check/oracle.hh"
+#include "obs/trace_sink.hh"
 
 namespace prism {
 
@@ -54,13 +55,37 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
     }
 
     for (NodeId n = 0; n < cfg_.numNodes; ++n) {
-        const std::string prefix = "node" + std::to_string(n);
-        nodes_[n]->controller().registerStats(registry_, prefix + ".ctrl");
-        nodes_[n]->kernel().registerStats(registry_, prefix + ".kernel");
+        nodes_[n]->controller().registerMetrics(registry_);
+        nodes_[n]->kernel().registerMetrics(registry_);
+        for (std::uint32_t p = 0; p < nodes_[n]->numProcs(); ++p) {
+            nodes_[n]->proc(p).registerMetrics(
+                registry_, static_cast<std::int32_t>(n), p);
+        }
+    }
+    net_->registerMetrics(registry_);
+    registry_.seal();
+
+    // Optional Chrome tracing: the first machine in the process claims
+    // the PRISM_TRACE sink (parallel sweep workers run untraced).
+    trace_ = TraceSink::claimFromEnv();
+    if (trace_) {
+        for (NodeId n = 0; n < cfg_.numNodes; ++n) {
+            trace_->processName(static_cast<std::int32_t>(n),
+                                "node" + std::to_string(n));
+            nodes_[n]->controller().setTraceSink(trace_.get());
+            nodes_[n]->kernel().setTraceSink(trace_.get());
+        }
     }
 }
 
-Machine::~Machine() = default;
+Machine::~Machine()
+{
+    if (trace_) {
+        trace_->write();
+        inform("PRISM_TRACE: wrote %zu events to %s",
+               trace_->eventCount(), trace_->path().c_str());
+    }
+}
 
 void
 Machine::route(Msg &&m)
@@ -93,6 +118,17 @@ Machine::route(Msg &&m)
         oracle_->traceMsg(eq_.now(), boxed->src, boxed->dst,
                           static_cast<std::uint16_t>(boxed->type),
                           boxed->gpage, boxed->lineIdx);
+    }
+    // Always-on last-N message history: a few plain stores per message.
+    msgRing_.push(TraceEvent{eq_.now(), boxed->gpage, boxed->lineIdx,
+                             static_cast<std::uint16_t>(boxed->type),
+                             static_cast<std::uint8_t>(boxed->src),
+                             static_cast<std::uint8_t>(boxed->dst)});
+    if (trace_) {
+        trace_->instant(msgTypeName(boxed->type), "msg",
+                        static_cast<std::int32_t>(boxed->dst),
+                        static_cast<std::int32_t>(boxed->lineIdx),
+                        eq_.now());
     }
     net_->send(boxed->src, boxed->dst, boxed->sizeClass(),
                std::move(deliver));
@@ -147,16 +183,12 @@ Machine::Snapshot
 Machine::snapshot() const
 {
     Snapshot s;
-    for (const auto &n : nodes_) {
-        const ControllerStats &cs = n->controller().stats();
-        s.remoteMisses += cs.remoteMisses;
-        s.upgrades += cs.upgrades;
-        s.invalidations += cs.invalsSent;
-        const KernelStats &ks = n->kernel().stats();
-        s.clientPageOuts += ks.clientPageOuts;
-        s.pageFaults += ks.faults;
-    }
-    s.networkMessages = net_->messages();
+    s.remoteMisses = registry_.sum("ctrl", "remoteMisses");
+    s.upgrades = registry_.sum("ctrl", "upgrades");
+    s.invalidations = registry_.sum("ctrl", "invalsSent");
+    s.clientPageOuts = registry_.sum("kernel", "clientPageOuts");
+    s.pageFaults = registry_.sum("kernel", "faults");
+    s.networkMessages = registry_.value("net", kMachineWide, "messages");
     return s;
 }
 
@@ -179,7 +211,7 @@ Machine::markParallelEnd()
 }
 
 RunMetrics
-Machine::metrics() const
+Machine::metrics()
 {
     RunMetrics m;
     const Tick begin = parallelBeginSet_ ? parallelBegin_ : 0;
@@ -196,22 +228,38 @@ Machine::metrics() const
     m.networkMessages = e.networkMessages - b.networkMessages;
     m.pageFaults = e.pageFaults - b.pageFaults;
 
+    // Everything below is a label query against the registry — no
+    // field is hand-copied from module structs.
+    m.migrations = registry_.sum("ctrl", "migrationsOut");
+    m.forwards = registry_.sum("ctrl", "forwards");
+    m.references = registry_.sumLeaf("proc", "loads") +
+                   registry_.sumLeaf("proc", "stores");
+
+    registry_.sampleGauges();
+    m.clientScomaPeakPerNode.assign(numNodes(), 0);
     std::uint64_t util_frames = 0;
     double util_weighted = 0.0;
-    for (const auto &n : nodes_) {
-        const Kernel &k = const_cast<Node &>(*n).kernel();
-        m.framesAllocated += k.realFramesPeak();
-        m.clientScomaPeakPerNode.push_back(k.clientScomaPeak());
-        const std::uint64_t f = k.realFramesCumulative();
-        util_frames += f;
-        util_weighted += k.averageUtilization() * static_cast<double>(f);
-        m.migrations += n->controller().stats().migrationsOut;
-        m.forwards += n->controller().stats().forwards;
-        for (std::uint32_t p = 0; p < n->numProcs(); ++p) {
-            const ProcStats &ps =
-                const_cast<Node &>(*n).proc(p).stats();
-            m.references += ps.loads + ps.stores;
+    std::vector<double> node_util(numNodes(), 0.0);
+    std::vector<std::uint64_t> node_frames(numNodes(), 0);
+    for (const auto &g : registry_.gauges()) {
+        if (g.labels.component != "kernel" || g.labels.node < 0)
+            continue;
+        const auto n = static_cast<std::size_t>(g.labels.node);
+        if (g.labels.name == "realFramesPeak") {
+            m.framesAllocated += static_cast<std::uint64_t>(g.value);
+        } else if (g.labels.name == "clientScomaPeak") {
+            m.clientScomaPeakPerNode[n] =
+                static_cast<std::uint64_t>(g.value);
+        } else if (g.labels.name == "realFramesCumulative") {
+            node_frames[n] = static_cast<std::uint64_t>(g.value);
+        } else if (g.labels.name == "avgUtilization") {
+            node_util[n] = g.value;
         }
+    }
+    for (std::size_t n = 0; n < node_frames.size(); ++n) {
+        util_frames += node_frames[n];
+        util_weighted +=
+            node_util[n] * static_cast<double>(node_frames[n]);
     }
     m.avgUtilization =
         util_frames ? util_weighted / static_cast<double>(util_frames)

@@ -22,14 +22,18 @@
 #include "core/node.hh"
 #include "core/sync.hh"
 #include "net/network.hh"
+#include "obs/metrics.hh"
+#include "obs/report.hh"
 #include "os/ipc_server.hh"
 #include "policy/page_policy.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace prism {
 
 class ProtocolOracle;
+class TraceSink;
 
 /** The whole simulated multiprocessor. */
 class Machine
@@ -47,7 +51,14 @@ class Machine
     IpcServer &ipc() { return ipc_; }
     LockManager &locks() { return *locks_; }
     BarrierManager &barriers() { return *barriers_; }
-    StatRegistry &statRegistry() { return registry_; }
+    MetricRegistry &metricRegistry() { return registry_; }
+    const MetricRegistry &metricRegistry() const { return registry_; }
+
+    /**
+     * Always-on bounded history of recent protocol messages (the
+     * last-N debugging buffer; see obs/ for the full trace sink).
+     */
+    const TraceRing &messageRing() const { return msgRing_; }
 
     /** Protocol oracle; nullptr when oracleMode is Off. */
     ProtocolOracle *oracle() { return oracle_.get(); }
@@ -107,8 +118,19 @@ class Machine
 
     Tick parallelBeginTick() const { return parallelBegin_; }
 
-    /** Aggregate run metrics (see RunMetrics). */
-    RunMetrics metrics() const;
+    /**
+     * Aggregate run metrics (see RunMetrics), derived entirely from
+     * the labeled metric registry.  Non-const: refreshes gauge samples.
+     */
+    RunMetrics metrics();
+
+    Tick parallelEndTick() const
+    {
+        return parallelEndSet_ ? parallelEnd_ : lastProcDone_;
+    }
+
+    /** Build the full structured run report (see obs/report.hh). */
+    RunReport report() { return buildRunReport(*this); }
 
     /** Route a protocol message through the network. */
     void route(Msg &&m);
@@ -134,7 +156,9 @@ class Machine
     std::unique_ptr<PagePolicy> policy_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::unique_ptr<ProtocolOracle> oracle_;
-    StatRegistry registry_;
+    MetricRegistry registry_;
+    TraceRing msgRing_;
+    std::unique_ptr<TraceSink> trace_;
     /** Recycled message boxes for route(): in-flight messages live on
      *  the heap (the delivery callback holds a raw pointer), but boxes
      *  are reused so steady-state routing performs no allocation. */

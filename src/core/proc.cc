@@ -1,5 +1,7 @@
 #include "core/proc.hh"
 
+#include <string>
+
 #include "check/oracle.hh"
 #include "core/machine.hh"
 #include "core/node.hh"
@@ -262,6 +264,28 @@ Proc::endParallel()
 {
     co_await flushTime();
     machine_.markParallelEnd();
+}
+
+void
+Proc::registerMetrics(MetricRegistry &reg, std::int32_t node,
+                      std::uint32_t lane)
+{
+    const std::string p = "p" + std::to_string(lane) + ".";
+    auto counter = [&](const char *name, ScopedCounter &c,
+                       const char *desc) {
+        reg.bind(MetricLabels{"proc", node, p + name, "count"}, &c, desc);
+    };
+    counter("loads", stats_.loads, "");
+    counter("stores", stats_.stores, "");
+    counter("l1Hits", stats_.l1Hits, "");
+    counter("l2Hits", stats_.l2Hits, "");
+    counter("l2Misses", stats_.l2Misses, "");
+    counter("upgradesLocal", stats_.upgradesLocal,
+            "S->M upgrades resolved on the node bus");
+    counter("tlbRefills", stats_.tlbRefills, "");
+    counter("pageFaults", stats_.pageFaults, "");
+    counter("computeCycles", stats_.computeCycles,
+            "non-memory computation charged");
 }
 
 } // namespace prism

@@ -22,6 +22,7 @@
 #include "mem/addr.hh"
 #include "mem/cache.hh"
 #include "mem/tlb.hh"
+#include "obs/metrics.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
 #include "sim/task.hh"
@@ -32,17 +33,17 @@ class Node;
 class Machine;
 class ProtocolOracle;
 
-/** Per-processor statistics. */
+/** Per-processor statistics, as labeled scoped handles. */
 struct ProcStats {
-    std::uint64_t loads = 0;
-    std::uint64_t stores = 0;
-    std::uint64_t l1Hits = 0;
-    std::uint64_t l2Hits = 0;
-    std::uint64_t l2Misses = 0;
-    std::uint64_t upgradesLocal = 0; //!< S->M resolved on the node bus
-    std::uint64_t tlbRefills = 0;
-    std::uint64_t pageFaults = 0;
-    std::uint64_t computeCycles = 0;
+    ScopedCounter loads;
+    ScopedCounter stores;
+    ScopedCounter l1Hits;
+    ScopedCounter l2Hits;
+    ScopedCounter l2Misses;
+    ScopedCounter upgradesLocal; //!< S->M resolved on the node bus
+    ScopedCounter tlbRefills;
+    ScopedCounter pageFaults;
+    ScopedCounter computeCycles;
 };
 
 /** One simulated processor. */
@@ -130,6 +131,13 @@ class Proc
 
     /** Attach the protocol oracle (Machine construction). */
     void setOracle(ProtocolOracle *o) { oracle_ = o; }
+
+    /**
+     * Bind this processor's counters into @p reg under component
+     * "proc", node @p node, names "p<lane>.<counter>".
+     */
+    void registerMetrics(MetricRegistry &reg, std::int32_t node,
+                         std::uint32_t lane);
 
   private:
     struct AccessAwaiter {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
@@ -82,6 +83,7 @@ class Network
                 at = last + 1;
             last = at;
         }
+        delivery(size).sample(at - eq_.now());
         eq_.schedule(at, std::forward<F>(deliver));
     }
 
@@ -99,6 +101,30 @@ class Network
 
     const Params &params() const { return params_; }
 
+    /**
+     * Bind the fabric's counters and per-size-class delivery-latency
+     * histograms into @p reg under component "net", machine-wide.
+     */
+    void
+    registerMetrics(MetricRegistry &reg)
+    {
+        reg.bind(MetricLabels{"net", kMachineWide, "messages", "count"},
+                 &messages_, "messages sent through the fabric");
+        reg.bind(MetricLabels{"net", kMachineWide, "trafficProxy",
+                              "cycles"},
+                 &bytesProxy_,
+                 "NIC occupancy booked; proxy for bytes moved");
+        reg.bind(MetricLabels{"net", kMachineWide, "latency.control",
+                              "cycles"},
+                 &deliveryControl_, "send-to-delivery, control messages");
+        reg.bind(MetricLabels{"net", kMachineWide, "latency.data",
+                              "cycles"},
+                 &deliveryData_, "send-to-delivery, line-data messages");
+        reg.bind(MetricLabels{"net", kMachineWide, "latency.page",
+                              "cycles"},
+                 &deliveryPage_, "send-to-delivery, page-bulk messages");
+    }
+
   private:
     Cycles
     occupancy(MsgSize size) const
@@ -111,6 +137,17 @@ class Network
         return params_.controlOccupancy;
     }
 
+    ScopedHistogram &
+    delivery(MsgSize size)
+    {
+        switch (size) {
+          case MsgSize::Control: return deliveryControl_;
+          case MsgSize::Data: return deliveryData_;
+          case MsgSize::Page: return deliveryPage_;
+        }
+        return deliveryControl_;
+    }
+
     EventQueue &eq_;
     Params params_;
     std::vector<FcfsResource> egress_;
@@ -119,8 +156,11 @@ class Network
     std::uint32_t numNodes_;
     /** Last delivery tick per (src, dst); empty when jitter is off. */
     std::vector<Tick> lastDeliver_;
-    std::uint64_t messages_ = 0;
-    std::uint64_t bytesProxy_ = 0;
+    ScopedCounter messages_;
+    ScopedCounter bytesProxy_;
+    ScopedHistogram deliveryControl_{latencyBounds()};
+    ScopedHistogram deliveryData_{latencyBounds()};
+    ScopedHistogram deliveryPage_{latencyBounds()};
 };
 
 } // namespace prism

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Minimal deterministic JSON writer for run reports and traces.
+ *
+ * Emission is fully deterministic: fixed key order (caller-driven),
+ * two-space indentation, and shortest-round-trip doubles via
+ * std::to_chars — so two identical runs produce byte-identical
+ * documents (the determinism test relies on this).
+ */
+
+#ifndef PRISM_OBS_JSON_HH
+#define PRISM_OBS_JSON_HH
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace prism {
+
+/** Streaming JSON writer with caller-controlled structure. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    void
+    beginObject()
+    {
+        preValue();
+        os_ << '{';
+        stack_.push_back(Frame{true, true});
+    }
+
+    void
+    endObject()
+    {
+        prism_assert(!stack_.empty() && stack_.back().object,
+                     "endObject outside an object");
+        const bool empty = stack_.back().first;
+        stack_.pop_back();
+        if (!empty)
+            newline();
+        os_ << '}';
+    }
+
+    void
+    beginArray()
+    {
+        preValue();
+        os_ << '[';
+        stack_.push_back(Frame{false, true});
+    }
+
+    void
+    endArray()
+    {
+        prism_assert(!stack_.empty() && !stack_.back().object,
+                     "endArray outside an array");
+        const bool empty = stack_.back().first;
+        stack_.pop_back();
+        if (!empty)
+            newline();
+        os_ << ']';
+    }
+
+    void
+    key(std::string_view k)
+    {
+        prism_assert(!stack_.empty() && stack_.back().object,
+                     "key outside an object");
+        comma();
+        newline();
+        writeString(k);
+        os_ << ": ";
+        pendingKey_ = true;
+    }
+
+    void
+    value(std::string_view s)
+    {
+        preValue();
+        writeString(s);
+    }
+
+    void value(const char *s) { value(std::string_view(s)); }
+
+    void
+    value(std::uint64_t v)
+    {
+        preValue();
+        os_ << v;
+    }
+
+    void value(std::uint32_t v) { value(static_cast<std::uint64_t>(v)); }
+
+    void
+    value(std::int64_t v)
+    {
+        preValue();
+        os_ << v;
+    }
+
+    void value(std::int32_t v) { value(static_cast<std::int64_t>(v)); }
+
+    void
+    value(double v)
+    {
+        preValue();
+        char buf[32];
+        auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+        prism_assert(ec == std::errc(), "double-to-chars failed");
+        os_ << std::string_view(buf, static_cast<std::size_t>(p - buf));
+    }
+
+    void
+    value(bool v)
+    {
+        preValue();
+        os_ << (v ? "true" : "false");
+    }
+
+    template <typename T>
+    void
+    kv(std::string_view k, const T &v)
+    {
+        key(k);
+        value(v);
+    }
+
+  private:
+    struct Frame {
+        bool object;
+        bool first;
+    };
+
+    void
+    comma()
+    {
+        if (!stack_.empty()) {
+            if (!stack_.back().first)
+                os_ << ',';
+            stack_.back().first = false;
+        }
+    }
+
+    void
+    newline()
+    {
+        os_ << '\n';
+        for (std::size_t i = 0; i < stack_.size(); ++i)
+            os_ << "  ";
+    }
+
+    void
+    preValue()
+    {
+        if (pendingKey_) {
+            pendingKey_ = false;
+            return;
+        }
+        if (!stack_.empty()) {
+            prism_assert(!stack_.back().object,
+                         "bare value inside an object (key required)");
+            comma();
+            newline();
+        }
+    }
+
+    void
+    writeString(std::string_view s)
+    {
+        os_ << '"';
+        for (char c : s) {
+            switch (c) {
+              case '"': os_ << "\\\""; break;
+              case '\\': os_ << "\\\\"; break;
+              case '\n': os_ << "\\n"; break;
+              case '\t': os_ << "\\t"; break;
+              case '\r': os_ << "\\r"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    os_ << buf;
+                } else {
+                    os_ << c;
+                }
+            }
+        }
+        os_ << '"';
+    }
+
+    std::ostream &os_;
+    std::vector<Frame> stack_;
+    bool pendingKey_ = false;
+};
+
+} // namespace prism
+
+#endif // PRISM_OBS_JSON_HH

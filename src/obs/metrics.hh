@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Scoped metric registry: the run-report observability layer's core.
+ *
+ * Modules own their counters as RAII `ScopedCounter` /
+ * `ScopedHistogram` / `ScopedGauge` handles; binding a handle to the
+ * machine's `MetricRegistry` attaches {component, node, name, unit}
+ * labels so any consumer can aggregate by label (per node, per
+ * component, machine-wide) instead of hand-copying fields.  The value
+ * lives *inside* the handle, so hot paths still perform a plain
+ * `std::uint64_t` increment; registration costs nothing per increment.
+ *
+ * Lifetime safety (the reason the old `StatRegistry::add(name, const
+ * uint64_t*)` API is gone): handle and registry deregister from each
+ * other on destruction, in either order.  When a module is torn down
+ * before the registry, the handle's destructor retires its final value
+ * into the registry, so label queries never chase a dangling pointer.
+ */
+
+#ifndef PRISM_OBS_METRICS_HH
+#define PRISM_OBS_METRICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/stats.hh"
+
+namespace prism {
+
+/** Node label for machine-wide (not per-node) metrics. */
+constexpr std::int32_t kMachineWide = -1;
+
+/** Labels carried by every registered metric. */
+struct MetricLabels {
+    std::string component; //!< "ctrl", "kernel", "proc", "net", ...
+    std::int32_t node = kMachineWide; //!< node id, or kMachineWide
+    std::string name;      //!< dotted metric name within the component
+    std::string unit;      //!< "count", "cycles", "frames", ...
+
+    /** Canonical flat name: "node3.ctrl.remoteMisses" / "net.messages". */
+    std::string fullName() const;
+};
+
+class MetricRegistry;
+
+/**
+ * A module-owned counter.  Unbound it is just a uint64; bound it is
+ * enumerable through the registry under its labels.  Increments stay
+ * plain integer adds either way.
+ */
+class ScopedCounter
+{
+  public:
+    ScopedCounter() = default;
+    ~ScopedCounter();
+
+    ScopedCounter(const ScopedCounter &) = delete;
+    ScopedCounter &operator=(const ScopedCounter &) = delete;
+    ScopedCounter(ScopedCounter &&) = delete;
+    ScopedCounter &operator=(ScopedCounter &&) = delete;
+
+    ScopedCounter &operator++() { ++v_; return *this; }
+    ScopedCounter &operator+=(std::uint64_t d) { v_ += d; return *this; }
+    std::uint64_t value() const { return v_; }
+    operator std::uint64_t() const { return v_; } // NOLINT(google-explicit-constructor)
+
+  private:
+    friend class MetricRegistry;
+    std::uint64_t v_ = 0;
+    MetricRegistry *reg_ = nullptr;
+    std::uint32_t idx_ = 0;
+};
+
+/** A module-owned latency histogram with registry labels. */
+class ScopedHistogram
+{
+  public:
+    explicit ScopedHistogram(std::vector<std::uint64_t> bounds)
+        : h_(std::move(bounds))
+    {
+    }
+    ~ScopedHistogram();
+
+    ScopedHistogram(const ScopedHistogram &) = delete;
+    ScopedHistogram &operator=(const ScopedHistogram &) = delete;
+    ScopedHistogram(ScopedHistogram &&) = delete;
+    ScopedHistogram &operator=(ScopedHistogram &&) = delete;
+
+    void sample(std::uint64_t v) { h_.sample(v); }
+    const Histogram &histogram() const { return h_; }
+
+  private:
+    friend class MetricRegistry;
+    Histogram h_;
+    MetricRegistry *reg_ = nullptr;
+    std::uint32_t idx_ = 0;
+};
+
+/**
+ * A sampled floating-point metric (peaks, utilization fractions):
+ * the registry caches the last sampled value, so reads after the
+ * owning module is gone return the final sample instead of calling a
+ * dead closure.  Call MetricRegistry::sampleGauges() to refresh.
+ */
+class ScopedGauge
+{
+  public:
+    ScopedGauge() = default;
+    ~ScopedGauge();
+
+    ScopedGauge(const ScopedGauge &) = delete;
+    ScopedGauge &operator=(const ScopedGauge &) = delete;
+    ScopedGauge(ScopedGauge &&) = delete;
+    ScopedGauge &operator=(ScopedGauge &&) = delete;
+
+  private:
+    friend class MetricRegistry;
+    std::function<double()> fn_;
+    MetricRegistry *reg_ = nullptr;
+    std::uint32_t idx_ = 0;
+};
+
+/** The machine's labeled metric registry. */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    ~MetricRegistry();
+
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /**
+     * Bind @p c under @p labels.  Duplicate full names and binding
+     * after seal() are fatal (registration is a construction-time
+     * activity; a duplicate means two modules claimed one identity).
+     */
+    void bind(MetricLabels labels, ScopedCounter *c,
+              std::string desc = "");
+
+    /** Bind a histogram handle under @p labels. */
+    void bind(MetricLabels labels, ScopedHistogram *h,
+              std::string desc = "");
+
+    /** Bind a gauge; @p fn is sampled by sampleGauges(). */
+    void bind(MetricLabels labels, ScopedGauge *g,
+              std::function<double()> fn, std::string desc = "");
+
+    /**
+     * Freeze registration and build the by-name index, making get()
+     * O(1) instead of a linear scan.  Called once construction of the
+     * owning machine is complete.
+     */
+    void seal();
+
+    bool sealed() const { return sealed_; }
+
+    /** Counter value by canonical full name. */
+    std::optional<std::uint64_t> get(const std::string &full_name) const;
+
+    /** Counter value for exact (component, node, name); 0 if absent. */
+    std::uint64_t value(std::string_view component, std::int32_t node,
+                        std::string_view name) const;
+
+    /** Sum of @p component 's @p name over every node label. */
+    std::uint64_t sum(std::string_view component,
+                      std::string_view name) const;
+
+    /**
+     * Sum over entries of @p component whose last dotted name segment
+     * is @p leaf (aggregates e.g. per-processor "p0.loads".."p3.loads").
+     */
+    std::uint64_t sumLeaf(std::string_view component,
+                          std::string_view leaf) const;
+
+    /** Refresh every live gauge's cached sample. */
+    void sampleGauges();
+
+    /** Write "fullName value  # desc" lines, registration order. */
+    void dump(std::ostream &os) const;
+
+    std::size_t size() const { return counters_.size(); }
+
+    // --- Enumeration (report building) --------------------------------
+
+    struct CounterEntry {
+        MetricLabels labels;
+        std::string desc;
+        const ScopedCounter *live; //!< nullptr once retired
+        std::uint64_t retired;
+        std::uint64_t value() const { return live ? live->v_ : retired; }
+    };
+
+    struct HistogramEntry {
+        MetricLabels labels;
+        std::string desc;
+        const ScopedHistogram *live;
+        Histogram retired{std::vector<std::uint64_t>{}};
+        const Histogram &
+        histogram() const
+        {
+            return live ? live->h_ : retired;
+        }
+    };
+
+    struct GaugeEntry {
+        MetricLabels labels;
+        std::string desc;
+        const ScopedGauge *live;
+        double value; //!< last sample (survives retirement)
+    };
+
+    const std::vector<CounterEntry> &counters() const { return counters_; }
+    const std::vector<HistogramEntry> &histograms() const
+    {
+        return histograms_;
+    }
+    const std::vector<GaugeEntry> &gauges() const { return gauges_; }
+
+  private:
+    friend class ScopedCounter;
+    friend class ScopedHistogram;
+    friend class ScopedGauge;
+
+    void checkBindable(const MetricLabels &labels);
+
+    void retireCounter(std::uint32_t idx, std::uint64_t final_value);
+    void retireHistogram(std::uint32_t idx, const Histogram &final_state);
+    void retireGauge(std::uint32_t idx);
+
+    std::vector<CounterEntry> counters_;
+    std::vector<HistogramEntry> histograms_;
+    std::vector<GaugeEntry> gauges_;
+    /** All full names ever bound (duplicate detection, all kinds). */
+    std::unordered_map<std::string, std::uint8_t> names_;
+    /** Sealed O(1) counter lookup: full name -> counters_ index. */
+    std::unordered_map<std::string, std::uint32_t> counterIndex_;
+    bool sealed_ = false;
+};
+
+/**
+ * Default latency-histogram bucket bounds: powers of two from 16 to
+ * 2^22 cycles.  Quantiles interpolated within a bucket are accurate to
+ * the bucket width, i.e. at most a factor-of-two relative error (see
+ * Histogram::quantile).
+ */
+std::vector<std::uint64_t> latencyBounds();
+
+} // namespace prism
+
+#endif // PRISM_OBS_METRICS_HH

@@ -1,0 +1,232 @@
+#include "obs/report.hh"
+
+#include <ctime>
+#include <map>
+#include <sstream>
+
+#include "core/machine.hh"
+#include "obs/json.hh"
+
+namespace prism {
+
+namespace {
+
+std::string
+utcNow()
+{
+    std::time_t t = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&t, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+void
+writeValues(JsonWriter &w, const std::vector<RunReport::Value> &vals)
+{
+    w.beginObject();
+    for (const auto &v : vals)
+        w.kv(v.name, v.value);
+    w.endObject();
+}
+
+} // namespace
+
+RunReport
+buildRunReport(Machine &m)
+{
+    RunReport r;
+    r.generatedAt = utcNow();
+
+    const MachineConfig &cfg = m.config();
+    r.numNodes = cfg.numNodes;
+    r.procsPerNode = cfg.procsPerNode;
+    r.policy = policyName(cfg.policy);
+    r.seed = cfg.seed;
+    r.l1Bytes = cfg.l1Bytes;
+    r.l2Bytes = cfg.l2Bytes;
+    r.lineBytes = cfg.lineBytes;
+    r.migrationEnabled = cfg.migrationEnabled;
+
+    r.parallelBeginTick = m.parallelBeginTick();
+    r.parallelEndTick = m.parallelEndTick();
+    r.metrics = m.metrics(); // also refreshes gauge samples
+    r.totalTicks = r.metrics.totalCycles;
+
+    const MetricRegistry &reg = m.metricRegistry();
+    r.nodes.resize(m.numNodes());
+    for (std::uint32_t n = 0; n < m.numNodes(); ++n)
+        r.nodes[n].id = static_cast<std::int32_t>(n);
+
+    for (const auto &e : reg.counters()) {
+        RunReport::Value v{e.labels.component + "." + e.labels.name,
+                           e.labels.unit, e.value()};
+        if (e.labels.node < 0) {
+            r.machineCounters.push_back(std::move(v));
+        } else {
+            r.nodes[static_cast<std::size_t>(e.labels.node)]
+                .counters.push_back(std::move(v));
+        }
+    }
+    for (const auto &g : reg.gauges()) {
+        RunReport::GaugeValue v{
+            g.labels.component + "." + g.labels.name, g.labels.unit,
+            g.value};
+        if (g.labels.node >= 0) {
+            r.nodes[static_cast<std::size_t>(g.labels.node)]
+                .gauges.push_back(std::move(v));
+        }
+    }
+
+    // Merge histograms of the same (component, name) across nodes,
+    // preserving first-appearance order for deterministic output.
+    std::vector<std::pair<std::string, Histogram>> merged;
+    std::map<std::string, std::size_t> index;
+    std::map<std::string, std::string> units;
+    for (const auto &h : reg.histograms()) {
+        const std::string key =
+            h.labels.component + "." + h.labels.name;
+        auto it = index.find(key);
+        if (it == index.end()) {
+            index.emplace(key, merged.size());
+            units.emplace(key, h.labels.unit);
+            merged.emplace_back(key, h.histogram());
+        } else {
+            merged[it->second].second.merge(h.histogram());
+        }
+    }
+    for (auto &[key, hist] : merged) {
+        RunReport::HistogramSummary s;
+        const std::size_t dot = key.find('.');
+        s.component = key.substr(0, dot);
+        s.name = key.substr(dot + 1);
+        s.unit = units[key];
+        s.count = hist.count();
+        s.max = hist.max();
+        s.mean = hist.mean();
+        s.p50 = hist.quantile(0.50);
+        s.p95 = hist.quantile(0.95);
+        s.p99 = hist.quantile(0.99);
+        s.bounds = hist.bounds();
+        s.counts = hist.counts();
+        r.histograms.push_back(std::move(s));
+    }
+    return r;
+}
+
+void
+RunReport::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.kv("schema", "prism.run_report");
+    w.kv("schemaVersion", kRunReportSchemaVersion);
+    w.kv("generatedAt", std::string_view(generatedAt));
+
+    w.key("config");
+    w.beginObject();
+    w.kv("numNodes", numNodes);
+    w.kv("procsPerNode", procsPerNode);
+    w.kv("policy", std::string_view(policy));
+    w.kv("seed", seed);
+    w.kv("l1Bytes", l1Bytes);
+    w.kv("l2Bytes", l2Bytes);
+    w.kv("lineBytes", lineBytes);
+    w.kv("migrationEnabled", migrationEnabled);
+    w.endObject();
+
+    w.key("phases");
+    w.beginObject();
+    w.kv("parallelBeginTick", parallelBeginTick);
+    w.kv("parallelEndTick", parallelEndTick);
+    w.kv("totalTicks", totalTicks);
+    w.endObject();
+
+    w.key("metrics");
+    w.beginObject();
+    w.kv("execCycles", metrics.execCycles);
+    w.kv("totalCycles", metrics.totalCycles);
+    w.kv("remoteMisses", metrics.remoteMisses);
+    w.kv("clientPageOuts", metrics.clientPageOuts);
+    w.kv("upgrades", metrics.upgrades);
+    w.kv("invalidations", metrics.invalidations);
+    w.kv("networkMessages", metrics.networkMessages);
+    w.kv("pageFaults", metrics.pageFaults);
+    w.kv("framesAllocated", metrics.framesAllocated);
+    w.kv("avgUtilization", metrics.avgUtilization);
+    w.kv("references", metrics.references);
+    w.kv("forwards", metrics.forwards);
+    w.kv("migrations", metrics.migrations);
+    w.key("clientScomaPeakPerNode");
+    w.beginArray();
+    for (std::uint64_t v : metrics.clientScomaPeakPerNode)
+        w.value(v);
+    w.endArray();
+    w.endObject();
+
+    w.key("machineCounters");
+    writeValues(w, machineCounters);
+
+    w.key("nodes");
+    w.beginArray();
+    for (const auto &n : nodes) {
+        w.beginObject();
+        w.kv("id", n.id);
+        w.key("counters");
+        writeValues(w, n.counters);
+        w.key("gauges");
+        w.beginObject();
+        for (const auto &g : n.gauges)
+            w.kv(g.name, g.value);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("histograms");
+    w.beginArray();
+    for (const auto &h : histograms) {
+        w.beginObject();
+        w.kv("component", std::string_view(h.component));
+        w.kv("name", std::string_view(h.name));
+        w.kv("unit", std::string_view(h.unit));
+        w.kv("count", h.count);
+        w.kv("max", h.max);
+        w.kv("mean", h.mean);
+        w.kv("p50", h.p50);
+        w.kv("p95", h.p95);
+        w.kv("p99", h.p99);
+        w.key("bounds");
+        w.beginArray();
+        for (std::uint64_t b : h.bounds)
+            w.value(b);
+        w.endArray();
+        w.key("counts");
+        w.beginArray();
+        for (std::uint64_t c : h.counts)
+            w.value(c);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.endObject();
+}
+
+void
+RunReport::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    writeJson(w);
+    os << "\n";
+}
+
+std::string
+RunReport::toJson() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+} // namespace prism

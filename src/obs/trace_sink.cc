@@ -1,0 +1,88 @@
+#include "obs/trace_sink.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/json.hh"
+#include "sim/logging.hh"
+
+namespace prism {
+
+namespace {
+
+/** One live sink per process; parallel sweep workers lose the race. */
+std::atomic<bool> g_traceClaimed{false};
+
+} // namespace
+
+std::unique_ptr<TraceSink>
+TraceSink::claimFromEnv()
+{
+    const char *path = std::getenv("PRISM_TRACE");
+    if (path == nullptr || path[0] == '\0')
+        return nullptr;
+    bool expected = false;
+    if (!g_traceClaimed.compare_exchange_strong(expected, true))
+        return nullptr;
+    return std::unique_ptr<TraceSink>(new TraceSink(path));
+}
+
+TraceSink::~TraceSink()
+{
+    g_traceClaimed.store(false);
+}
+
+void
+TraceSink::processName(std::int32_t pid, std::string name)
+{
+    processes_.push_back(ProcessMeta{pid, std::move(name)});
+}
+
+void
+TraceSink::write() const
+{
+    std::ofstream os(path_);
+    if (!os) {
+        warn("PRISM_TRACE: cannot open '%s' for writing", path_.c_str());
+        return;
+    }
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("traceEvents");
+    w.beginArray();
+    for (const auto &p : processes_) {
+        w.beginObject();
+        w.kv("name", "process_name");
+        w.kv("ph", "M");
+        w.kv("pid", p.pid);
+        w.key("args");
+        w.beginObject();
+        w.kv("name", std::string_view(p.name));
+        w.endObject();
+        w.endObject();
+    }
+    for (const auto &e : events_) {
+        w.beginObject();
+        w.kv("name", std::string_view(e.name));
+        w.kv("cat", std::string_view(e.category));
+        w.key("ph");
+        w.value(std::string_view(&e.phase, 1));
+        w.kv("pid", e.pid);
+        w.kv("tid", e.tid);
+        // Ticks (cycles) are reported as microseconds: Perfetto has no
+        // native cycle unit, and a 1:1 mapping keeps durations legible.
+        w.kv("ts", e.ts);
+        if (e.phase == 'X')
+            w.kv("dur", e.dur);
+        if (e.phase == 'i')
+            w.kv("s", "t");
+        w.endObject();
+    }
+    w.endArray();
+    w.kv("displayTimeUnit", "ms");
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace prism

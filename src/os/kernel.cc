@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace_sink.hh"
 #include "policy/page_policy.hh"
 #include "sim/stats.hh"
 
@@ -148,6 +149,7 @@ Kernel::handleFault(VPage vp, FrameNum *out_frame)
     auto ch_it = cachedHome_.find(gp);
     if (ch_it == cachedHome_.end()) {
         // Ensure the page is paged-in at home and learn the home frame.
+        const Tick pi0 = eq_.now();
         PageInWait w(eq_);
         pendingPageIn_[gp] = &w;
         Msg m;
@@ -160,6 +162,12 @@ Kernel::handleFault(VPage vp, FrameNum *out_frame)
         pendingPageIn_.erase(gp);
         ch = CachedHome{w.dynHome, w.homeFrame};
         cachedHome_.emplace(gp, ch);
+        latency_.pageIn.sample(eq_.now() - pi0);
+        if (trace_) {
+            trace_->span("pageIn", "paging",
+                         static_cast<std::int32_t>(self_), 0, pi0,
+                         eq_.now());
+        }
     } else {
         // Home-page-status flag is set: no page-in request needed.
         ch = ch_it->second;
@@ -227,6 +235,7 @@ Kernel::archiveUtilization(FrameNum f)
 CoTask
 Kernel::pageOutClient(GPage gp, bool convert_to_lanuma)
 {
+    const Tick t0 = eq_.now();
     CoMutex &lk = globalLock(gp);
     co_await lk.acquire();
 
@@ -303,12 +312,18 @@ Kernel::pageOutClient(GPage gp, bool convert_to_lanuma)
     }
     ++stats_.clientPageOuts;
     co_await delay(cfg_.pageOutKernelCycles);
+    latency_.pageOut.sample(eq_.now() - t0);
+    if (trace_) {
+        trace_->span("pageOut", "paging",
+                     static_cast<std::int32_t>(self_), 0, t0, eq_.now());
+    }
     lk.release();
 }
 
 CoTask
 Kernel::pageOutHome(GPage gp)
 {
+    const Tick t0 = eq_.now();
     CoMutex &lk = globalLock(gp);
     co_await lk.acquire();
     if (!ctrl_->isDynHome(gp)) {
@@ -360,6 +375,11 @@ Kernel::pageOutHome(GPage gp)
     diskPages_.insert(gp);
     dyingPages_.erase(gp);
     ++stats_.homePageOuts;
+    latency_.pageOut.sample(eq_.now() - t0);
+    if (trace_) {
+        trace_->span("homePageOut", "paging",
+                     static_cast<std::int32_t>(self_), 0, t0, eq_.now());
+    }
     lk.release();
 
     // Serve page-in requests that arrived while the page was dying.
@@ -706,22 +726,48 @@ Kernel::averageUtilization() const
 }
 
 void
-Kernel::registerStats(StatRegistry &reg, const std::string &prefix)
+Kernel::registerMetrics(MetricRegistry &reg)
 {
-    reg.add(prefix + ".faults", &stats_.faults, "page faults handled");
-    reg.add(prefix + ".faultsPrivate", &stats_.faultsPrivate, "");
-    reg.add(prefix + ".faultsHome", &stats_.faultsHome, "");
-    reg.add(prefix + ".faultsClient", &stats_.faultsClient, "");
-    reg.add(prefix + ".faultsCachedHome", &stats_.faultsCachedHome,
+    const std::int32_t n = static_cast<std::int32_t>(self_);
+    auto counter = [&](const char *name, ScopedCounter &c,
+                       const char *desc) {
+        reg.bind(MetricLabels{"kernel", n, name, "count"}, &c, desc);
+    };
+    counter("faults", stats_.faults, "page faults handled");
+    counter("faultsPrivate", stats_.faultsPrivate, "");
+    counter("faultsHome", stats_.faultsHome, "");
+    counter("faultsClient", stats_.faultsClient, "");
+    counter("faultsCachedHome", stats_.faultsCachedHome,
             "client faults served without contacting the home");
-    reg.add(prefix + ".clientPageOuts", &stats_.clientPageOuts, "");
-    reg.add(prefix + ".homePageOuts", &stats_.homePageOuts, "");
-    reg.add(prefix + ".conversionsToLaNuma",
-            &stats_.conversionsToLaNuma, "");
-    reg.add(prefix + ".conversionsToScoma", &stats_.conversionsToScoma,
-            "");
-    reg.add(prefix + ".pageInRequestsServed",
-            &stats_.pageInRequestsServed, "");
+    counter("clientPageOuts", stats_.clientPageOuts, "");
+    counter("homePageOuts", stats_.homePageOuts, "");
+    counter("conversionsToLaNuma", stats_.conversionsToLaNuma, "");
+    counter("conversionsToScoma", stats_.conversionsToScoma, "");
+    counter("pageInRequestsServed", stats_.pageInRequestsServed, "");
+
+    reg.bind(MetricLabels{"kernel", n, "latency.pageIn", "cycles"},
+             &latency_.pageIn, "client page-in round-trip latency");
+    reg.bind(MetricLabels{"kernel", n, "latency.pageOut", "cycles"},
+             &latency_.pageOut, "page-out flush-to-completion latency");
+
+    // Frame accounting is derived state (pool peaks, PIT utilization
+    // scans), so it is exposed as sampled gauges rather than counters.
+    reg.bind(MetricLabels{"kernel", n, "realFramesPeak", "frames"},
+             &gaugeFramesPeak_,
+             [this] { return static_cast<double>(realFramesPeak()); },
+             "peak real page frames allocated");
+    reg.bind(
+        MetricLabels{"kernel", n, "realFramesCumulative", "frames"},
+        &gaugeFramesCumulative_,
+        [this] { return static_cast<double>(realFramesCumulative()); },
+        "cumulative real-frame allocations");
+    reg.bind(MetricLabels{"kernel", n, "clientScomaPeak", "frames"},
+             &gaugeScomaPeak_,
+             [this] { return static_cast<double>(clientScomaPeak()); },
+             "peak client S-COMA frames");
+    reg.bind(MetricLabels{"kernel", n, "avgUtilization", "fraction"},
+             &gaugeAvgUtil_, [this] { return averageUtilization(); },
+             "average fraction of lines accessed per real frame");
 }
 
 } // namespace prism

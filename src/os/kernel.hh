@@ -38,18 +38,24 @@ namespace prism {
 
 class PagePolicy;
 
-/** Kernel statistics (per node). */
+/** Kernel statistics (per node), as labeled scoped handles. */
 struct KernelStats {
-    std::uint64_t faults = 0;
-    std::uint64_t faultsPrivate = 0;
-    std::uint64_t faultsHome = 0;
-    std::uint64_t faultsClient = 0;
-    std::uint64_t faultsCachedHome = 0; //!< home-page-status flag hits
-    std::uint64_t clientPageOuts = 0;
-    std::uint64_t homePageOuts = 0;
-    std::uint64_t conversionsToLaNuma = 0;
-    std::uint64_t conversionsToScoma = 0;
-    std::uint64_t pageInRequestsServed = 0;
+    ScopedCounter faults;
+    ScopedCounter faultsPrivate;
+    ScopedCounter faultsHome;
+    ScopedCounter faultsClient;
+    ScopedCounter faultsCachedHome; //!< home-page-status flag hits
+    ScopedCounter clientPageOuts;
+    ScopedCounter homePageOuts;
+    ScopedCounter conversionsToLaNuma;
+    ScopedCounter conversionsToScoma;
+    ScopedCounter pageInRequestsServed;
+};
+
+/** Page-transfer latency distributions (per node). */
+struct KernelLatency {
+    ScopedHistogram pageIn{latencyBounds()};  //!< client fault round-trip
+    ScopedHistogram pageOut{latencyBounds()}; //!< flush through completion
 };
 
 /** One node's kernel. */
@@ -199,8 +205,14 @@ class Kernel
      */
     double averageUtilization() const;
 
-    /** Register kernel counters. */
-    void registerStats(class StatRegistry &reg, const std::string &prefix);
+    /**
+     * Bind kernel counters, page-transfer histograms and memory
+     * gauges into @p reg under component "kernel", node self().
+     */
+    void registerMetrics(MetricRegistry &reg);
+
+    /** Attach the optional Chrome-trace sink (nullptr to disable). */
+    void setTraceSink(TraceSink *t) { trace_ = t; }
 
   private:
     struct PageInWait {
@@ -279,6 +291,13 @@ class Kernel
     std::uint64_t utilArchivedFrames_ = 0;
 
     KernelStats stats_;
+    KernelLatency latency_;
+    /** Gauge handles for the frame-accounting metrics. */
+    ScopedGauge gaugeFramesPeak_;
+    ScopedGauge gaugeFramesCumulative_;
+    ScopedGauge gaugeScomaPeak_;
+    ScopedGauge gaugeAvgUtil_;
+    TraceSink *trace_ = nullptr;
 };
 
 } // namespace prism

@@ -1,51 +1,52 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
+
+#include "sim/logging.hh"
+
 namespace prism {
 
-std::optional<std::uint64_t>
-StatRegistry::get(const std::string &name) const
+double
+Histogram::quantile(double q) const
 {
-    for (const auto &e : entries_) {
-        if (e.name == name)
-            return *e.value;
+    if (n_ == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the q-th sample (1-based), then the bucket holding it.
+    const double rank = q * static_cast<double>(n_);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        const std::uint64_t before = seen;
+        seen += counts_[i];
+        if (static_cast<double>(seen) < rank)
+            continue;
+        const double lo =
+            i == 0 ? 0.0 : static_cast<double>(bounds_[i - 1]);
+        // The overflow bucket has no upper bound; interpolate toward
+        // the largest observed sample instead.
+        const double hi = i < bounds_.size()
+                              ? static_cast<double>(bounds_[i])
+                              : std::max(static_cast<double>(max_), lo);
+        const double frac =
+            (rank - static_cast<double>(before)) /
+            static_cast<double>(counts_[i]);
+        return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
     }
-    return std::nullopt;
-}
-
-std::uint64_t
-StatRegistry::sumByPrefix(const std::string &prefix) const
-{
-    std::uint64_t sum = 0;
-    for (const auto &e : entries_) {
-        if (e.name.rfind(prefix, 0) == 0)
-            sum += *e.value;
-    }
-    return sum;
-}
-
-std::uint64_t
-StatRegistry::sumBySuffix(const std::string &suffix) const
-{
-    std::uint64_t sum = 0;
-    for (const auto &e : entries_) {
-        if (e.name.size() >= suffix.size() &&
-            e.name.compare(e.name.size() - suffix.size(), suffix.size(),
-                           suffix) == 0) {
-            sum += *e.value;
-        }
-    }
-    return sum;
+    return static_cast<double>(max_);
 }
 
 void
-StatRegistry::dump(std::ostream &os) const
+Histogram::merge(const Histogram &other)
 {
-    for (const auto &e : entries_) {
-        os << e.name << " " << *e.value;
-        if (!e.desc.empty())
-            os << "  # " << e.desc;
-        os << "\n";
-    }
+    prism_assert(bounds_ == other.bounds_,
+                 "merging histograms with different bucket bounds");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    sum_ += other.sum_;
+    n_ += other.n_;
+    max_ = std::max(max_, other.max_);
 }
 
 } // namespace prism

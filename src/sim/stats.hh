@@ -1,58 +1,18 @@
 /**
  * @file
- * Lightweight statistics registry.
+ * Fixed-bucket histogram for latency distributions.
  *
- * Hot paths increment plain std::uint64_t members; modules register a
- * named reference to each counter so the registry can enumerate and
- * dump them without adding any per-increment cost.
+ * (The raw-pointer StatRegistry that used to live here was replaced by
+ * the labeled, lifetime-safe MetricRegistry in obs/metrics.hh.)
  */
 
 #ifndef PRISM_SIM_STATS_HH
 #define PRISM_SIM_STATS_HH
 
 #include <cstdint>
-#include <optional>
-#include <ostream>
-#include <string>
 #include <vector>
 
 namespace prism {
-
-/** A registry of named references to module-owned counters. */
-class StatRegistry
-{
-  public:
-    /** Register counter @p value under @p name with description @p desc. */
-    void
-    add(std::string name, const std::uint64_t *value, std::string desc = "")
-    {
-        entries_.push_back(Entry{std::move(name), value, std::move(desc)});
-    }
-
-    /** Look up a counter's current value by exact name. */
-    std::optional<std::uint64_t> get(const std::string &name) const;
-
-    /** Sum of all counters whose name begins with @p prefix. */
-    std::uint64_t sumByPrefix(const std::string &prefix) const;
-
-    /** Sum of all counters whose name ends with @p suffix. */
-    std::uint64_t sumBySuffix(const std::string &suffix) const;
-
-    /** Write "name value  # desc" lines, in registration order. */
-    void dump(std::ostream &os) const;
-
-    /** Number of registered counters. */
-    std::size_t size() const { return entries_.size(); }
-
-  private:
-    struct Entry {
-        std::string name;
-        const std::uint64_t *value;
-        std::string desc;
-    };
-
-    std::vector<Entry> entries_;
-};
 
 /** Fixed-bucket histogram for latency distributions. */
 class Histogram
@@ -85,6 +45,24 @@ class Histogram
     {
         return n_ ? static_cast<double>(sum_) / static_cast<double>(n_) : 0.0;
     }
+
+    /**
+     * Approximate @p q quantile (q in [0, 1]) by linear interpolation
+     * inside the bucket holding the q-th sample.  With fixed buckets
+     * the answer is exact only at bucket boundaries; the error is
+     * bounded by the width of that bucket (for the power-of-two bounds
+     * used for latency histograms, at most a factor of two).  The
+     * overflow bucket interpolates toward max().  Returns 0 when
+     * empty.
+     */
+    double quantile(double q) const;
+
+    /**
+     * Accumulate @p other into this histogram.  Bucket bounds must be
+     * identical (merging histograms of different shapes is a caller
+     * bug).
+     */
+    void merge(const Histogram &other);
 
     const std::vector<std::uint64_t> &bounds() const { return bounds_; }
     const std::vector<std::uint64_t> &counts() const { return counts_; }

@@ -6,11 +6,14 @@
 namespace prism {
 
 RunMetrics
-runOnce(const MachineConfig &cfg, const AppSpec &app)
+runOnce(const MachineConfig &cfg, const AppSpec &app, RunReport *report)
 {
     Machine m(cfg);
     auto w = app.make();
-    return runWorkload(m, *w);
+    RunMetrics r = runWorkload(m, *w);
+    if (report)
+        *report = m.report();
+    return r;
 }
 
 std::vector<PolicyKind>
@@ -65,7 +68,9 @@ runPolicySweep(const MachineConfig &base, const AppSpec &app,
                double cap_fraction)
 {
     // Calibration run: SCOMA with an unbounded page cache.
-    RunMetrics scoma = runOnce(calibrationConfig(base), app);
+    RunReport scoma_report;
+    RunMetrics scoma =
+        runOnce(calibrationConfig(base), app, &scoma_report);
     const std::vector<std::uint64_t> caps =
         scoma70Caps(scoma, cap_fraction);
 
@@ -74,10 +79,13 @@ runPolicySweep(const MachineConfig &base, const AppSpec &app,
         ExperimentResult r;
         r.app = app.name;
         r.policy = pk;
-        if (pk == PolicyKind::Scoma)
+        if (pk == PolicyKind::Scoma) {
             r.metrics = scoma;
-        else
-            r.metrics = runOnce(policyConfig(base, pk, caps), app);
+            r.report = scoma_report;
+        } else {
+            r.metrics =
+                runOnce(policyConfig(base, pk, caps), app, &r.report);
+        }
         out.push_back(std::move(r));
     }
     return out;

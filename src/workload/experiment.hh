@@ -18,6 +18,7 @@
 
 #include "core/config.hh"
 #include "core/metrics.hh"
+#include "obs/report.hh"
 #include "workload/apps.hh"
 
 namespace prism {
@@ -27,10 +28,17 @@ struct ExperimentResult {
     std::string app;
     PolicyKind policy{};
     RunMetrics metrics;
+    /** Full structured run report (counters, latency quantiles). */
+    RunReport report;
 };
 
-/** Run one workload instance under @p cfg. */
-RunMetrics runOnce(const MachineConfig &cfg, const AppSpec &app);
+/**
+ * Run one workload instance under @p cfg.  When @p report is non-null
+ * it receives the structured run report, captured while the machine is
+ * still alive.
+ */
+RunMetrics runOnce(const MachineConfig &cfg, const AppSpec &app,
+                   RunReport *report = nullptr);
 
 /** Config for the SCOMA calibration run (unbounded page cache). */
 MachineConfig calibrationConfig(const MachineConfig &base);

@@ -128,7 +128,9 @@ runSweepsParallel(const MachineConfig &base,
         pool.submit([&base, &apps, &policies, &pool, &out, a, np,
                      cap_fraction] {
             const AppSpec &app = apps[a];
-            RunMetrics scoma = runOnce(calibrationConfig(base), app);
+            RunReport scoma_report;
+            RunMetrics scoma =
+                runOnce(calibrationConfig(base), app, &scoma_report);
             auto caps = std::make_shared<std::vector<std::uint64_t>>(
                 scoma70Caps(scoma, cap_fraction));
             for (std::size_t p = 0; p < np; ++p) {
@@ -136,13 +138,15 @@ runSweepsParallel(const MachineConfig &base,
                 const PolicyKind pk = policies[p];
                 if (pk == PolicyKind::Scoma) {
                     out[slot].metrics = scoma;
+                    out[slot].report = scoma_report;
                     continue;
                 }
                 // Stage 2: independent runs, one task each.  Distinct
                 // slots, so no synchronization on the results needed.
                 pool.submit([&base, &app, &out, caps, slot, pk] {
-                    out[slot].metrics =
-                        runOnce(policyConfig(base, pk, *caps), app);
+                    out[slot].metrics = runOnce(
+                        policyConfig(base, pk, *caps), app,
+                        &out[slot].report);
                 });
             }
         });

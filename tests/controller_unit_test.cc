@@ -158,14 +158,18 @@ TEST(ControllerUnit, StatsRegisteredInMachineRegistry)
             co_return;
         }(p, rig);
     });
-    auto &reg = rig.m.statRegistry();
+    auto &reg = rig.m.metricRegistry();
+    EXPECT_TRUE(reg.sealed());
     EXPECT_GT(reg.size(), 20u);
     EXPECT_EQ(reg.get("node1.ctrl.remoteMisses"), 1u);
-    EXPECT_EQ(reg.sumBySuffix(".remoteMisses"), 1u);
+    EXPECT_EQ(reg.value("ctrl", 1, "remoteMisses"), 1u);
+    EXPECT_EQ(reg.sum("ctrl", "remoteMisses"), 1u);
     // One processor fault at the client; the home map-in was served
     // by the page-in protocol, not a local fault.
-    EXPECT_EQ(reg.sumBySuffix(".faults"), 1u);
-    EXPECT_EQ(reg.sumBySuffix(".pageInRequestsServed"), 1u);
+    EXPECT_EQ(reg.sum("kernel", "faults"), 1u);
+    EXPECT_EQ(reg.sum("kernel", "pageInRequestsServed"), 1u);
+    // Per-processor counters roll up through the leaf query.
+    EXPECT_GT(reg.sumLeaf("proc", "loads"), 0u);
 }
 
 TEST(ControllerUnit, UpgradeCountsSeparatelyFromRemoteMisses)

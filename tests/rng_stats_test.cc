@@ -1,14 +1,16 @@
 /**
  * @file
- * Unit tests for the deterministic RNG, the stat registry and the
- * histogram.
+ * Unit tests for the deterministic RNG, the scoped metric registry and
+ * the histogram.
  */
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 #include <sstream>
 
+#include "obs/metrics.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 
@@ -71,22 +73,126 @@ TEST(Rng, ShufflePreservesElements)
     EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
 }
 
-TEST(StatRegistry, GetAndDump)
+TEST(MetricRegistry, BindQueryAndDump)
 {
-    StatRegistry reg;
-    std::uint64_t a = 5, b = 7;
-    reg.add("node0.ctrl.misses", &a, "remote misses");
-    reg.add("node1.ctrl.misses", &b);
+    MetricRegistry reg;
+    ScopedCounter a, b;
+    reg.bind(MetricLabels{"ctrl", 0, "misses", "count"}, &a,
+             "remote misses");
+    reg.bind(MetricLabels{"ctrl", 1, "misses", "count"}, &b);
+    a += 5;
+    b += 7;
     EXPECT_EQ(reg.get("node0.ctrl.misses"), 5u);
     EXPECT_EQ(reg.get("nope"), std::nullopt);
-    a = 6;
-    EXPECT_EQ(reg.get("node0.ctrl.misses"), 6u); // live reference
-    EXPECT_EQ(reg.sumBySuffix(".misses"), 13u);
-    EXPECT_EQ(reg.sumByPrefix("node1"), 7u);
+    ++a;
+    EXPECT_EQ(reg.get("node0.ctrl.misses"), 6u); // live handle
+    EXPECT_EQ(reg.value("ctrl", 1, "misses"), 7u);
+    EXPECT_EQ(reg.sum("ctrl", "misses"), 13u);
     std::ostringstream os;
     reg.dump(os);
     EXPECT_NE(os.str().find("node0.ctrl.misses 6"), std::string::npos);
     EXPECT_NE(os.str().find("# remote misses"), std::string::npos);
+}
+
+TEST(MetricRegistry, SealedGetIsIndexed)
+{
+    MetricRegistry reg;
+    ScopedCounter a;
+    reg.bind(MetricLabels{"ctrl", 3, "remoteMisses", "count"}, &a);
+    EXPECT_FALSE(reg.sealed());
+    reg.seal();
+    EXPECT_TRUE(reg.sealed());
+    a += 2;
+    EXPECT_EQ(reg.get("node3.ctrl.remoteMisses"), 2u);
+    EXPECT_EQ(reg.get("node3.ctrl.nope"), std::nullopt);
+}
+
+TEST(MetricRegistry, HandleOutlivingRegistryIsSafe)
+{
+    ScopedCounter a;
+    {
+        MetricRegistry reg;
+        reg.bind(MetricLabels{"ctrl", 0, "x", "count"}, &a);
+        ++a;
+    }
+    // The registry detached the handle on destruction; the handle
+    // keeps working as a plain counter.
+    ++a;
+    EXPECT_EQ(a.value(), 2u);
+}
+
+TEST(MetricRegistry, RegistryOutlivingHandleRetiresValue)
+{
+    MetricRegistry reg;
+    {
+        ScopedCounter a;
+        reg.bind(MetricLabels{"kernel", 2, "faults", "count"}, &a);
+        a += 41;
+        ++a;
+    }
+    // The handle retired its final value; label queries still answer.
+    EXPECT_EQ(reg.get("node2.kernel.faults"), 42u);
+    EXPECT_EQ(reg.sum("kernel", "faults"), 42u);
+}
+
+TEST(MetricRegistry, SumLeafAggregatesDottedNames)
+{
+    MetricRegistry reg;
+    ScopedCounter p0, p1, other;
+    reg.bind(MetricLabels{"proc", 0, "p0.loads", "count"}, &p0);
+    reg.bind(MetricLabels{"proc", 0, "p1.loads", "count"}, &p1);
+    reg.bind(MetricLabels{"proc", 0, "p0.stores", "count"}, &other);
+    p0 += 3;
+    p1 += 4;
+    other += 100;
+    EXPECT_EQ(reg.sumLeaf("proc", "loads"), 7u);
+    EXPECT_EQ(reg.sumLeaf("proc", "stores"), 100u);
+}
+
+TEST(MetricRegistry, GaugeSamplesAreCachedAcrossRetirement)
+{
+    MetricRegistry reg;
+    double source = 1.5;
+    {
+        ScopedGauge g;
+        reg.bind(MetricLabels{"kernel", 0, "util", "fraction"}, &g,
+                 [&source] { return source; });
+        reg.sampleGauges();
+        source = 2.5;
+        reg.sampleGauges();
+    }
+    ASSERT_EQ(reg.gauges().size(), 1u);
+    EXPECT_DOUBLE_EQ(reg.gauges()[0].value, 2.5);
+}
+
+void
+bindDuplicateMetric()
+{
+    MetricRegistry reg;
+    ScopedCounter a, b;
+    reg.bind(MetricLabels{"ctrl", 0, "misses", "count"}, &a);
+    reg.bind(MetricLabels{"ctrl", 0, "misses", "count"}, &b);
+}
+
+void
+bindAfterSeal()
+{
+    MetricRegistry reg;
+    reg.seal();
+    ScopedCounter a;
+    reg.bind(MetricLabels{"ctrl", 0, "late", "count"}, &a);
+}
+
+TEST(MetricRegistryDeathTest, DuplicateRegistrationIsFatal)
+{
+    EXPECT_EXIT(bindDuplicateMetric(), ::testing::ExitedWithCode(1),
+                "duplicate metric registration");
+}
+
+TEST(MetricRegistryDeathTest, BindAfterSealIsFatal)
+{
+    EXPECT_EXIT(bindAfterSeal(), ::testing::ExitedWithCode(1),
+                "registered after the registry");
 }
 
 TEST(Histogram, BucketsAndMoments)
@@ -104,6 +210,54 @@ TEST(Histogram, BucketsAndMoments)
     EXPECT_EQ(h.counts()[2], 1u); // [100,1000)
     EXPECT_EQ(h.counts()[3], 1u); // [1000,inf)
     EXPECT_NEAR(h.mean(), (5 + 50 + 500 + 5000 + 7) / 5.0, 1e-9);
+}
+
+TEST(Histogram, QuantileEmptyIsZero)
+{
+    Histogram h({10, 100});
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket)
+{
+    Histogram h({10, 100, 1000});
+    // 10 samples all in [10, 100).
+    for (int i = 0; i < 10; ++i)
+        h.sample(50);
+    // Median rank 5 of 10 -> halfway through the bucket [10, 100).
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 55.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+    // The error bound: the true p50 (50) is within one bucket width.
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 100.0 - 10.0);
+}
+
+TEST(Histogram, QuantileOverflowBucketUsesMax)
+{
+    Histogram h({10});
+    h.sample(5000);
+    h.sample(5000);
+    // Both samples in the overflow bucket; interpolation can never
+    // exceed the largest observed value.
+    EXPECT_LE(h.quantile(0.99), 5000.0);
+    EXPECT_GE(h.quantile(0.99), 10.0);
+}
+
+TEST(Histogram, MergeAccumulates)
+{
+    Histogram a({10, 100});
+    Histogram b({10, 100});
+    a.sample(5);
+    a.sample(50);
+    b.sample(50);
+    b.sample(500);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.max(), 500u);
+    EXPECT_EQ(a.counts()[0], 1u);
+    EXPECT_EQ(a.counts()[1], 2u);
+    EXPECT_EQ(a.counts()[2], 1u);
+    EXPECT_NEAR(a.mean(), (5 + 50 + 50 + 500) / 4.0, 1e-9);
 }
 
 } // namespace
