@@ -9,13 +9,17 @@
 
 #include <functional>
 #include <queue>
+#include <unordered_map>
 
 #include "coherence/directory.hh"
 #include "coherence/pit.hh"
 #include "mem/cache.hh"
 #include "mem/tlb.hh"
+#include "os/page_table.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+
+#include "../tests/mem_ref_models.hh"
 
 namespace prism {
 namespace {
@@ -251,6 +255,262 @@ BM_EventQueueChurnLegacy(benchmark::State &state)
     eventQueueChurn<LegacyEventQueue>(state);
 }
 BENCHMARK(BM_EventQueueChurnLegacy);
+
+// ---------------------------------------------------------------------
+// mem_path micros: the per-access memory-hierarchy hot path (TLB,
+// L1/L2 tag store, page table), each measured against the retired
+// pre-overhaul implementation (tests/mem_ref_models.hh) as "…Legacy".
+// scripts/check_bench_regression.py tracks the MemPath set in CI.
+// ---------------------------------------------------------------------
+
+/** The pre-overhaul page table: one flat hash map. */
+class LegacyPageTable
+{
+  public:
+    const Pte *
+    lookup(VPage vp) const
+    {
+        auto it = map_.find(vp);
+        return it == map_.end() ? nullptr : &it->second;
+    }
+
+    void map(VPage vp, FrameNum f, PageMode m) { map_[vp] = Pte{f, m}; }
+
+  private:
+    std::unordered_map<VPage, Pte> map_;
+};
+
+template <typename Tlb>
+void
+memPathTlbHit(benchmark::State &state)
+{
+    Tlb t(128);
+    for (VPage vp = 0; vp < 128; ++vp)
+        t.insert(vp, vp);
+    VPage vp = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.lookup(vp));
+        vp = (vp + 1) & 127;
+    }
+}
+
+template <typename Tlb>
+void
+memPathTlbMiss(benchmark::State &state)
+{
+    Tlb t(128);
+    for (VPage vp = 0; vp < 128; ++vp)
+        t.insert(vp, vp);
+    VPage vp = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.lookup(0x10000 + vp));
+        vp = (vp + 1) & 1023;
+    }
+}
+
+template <typename Tlb>
+void
+memPathTlbInsertEvict(benchmark::State &state)
+{
+    // Rotating through 4x capacity: every insert evicts the LRU entry
+    // (an O(n) scan in the legacy map, list surgery in the rewrite).
+    Tlb t(64);
+    VPage vp = 0;
+    for (auto _ : state) {
+        t.insert(vp, vp);
+        vp = (vp + 1) & 255;
+    }
+}
+
+template <typename Cache>
+void
+memPathL1Hit(benchmark::State &state)
+{
+    // 32 KiB 4-way L1; hit + LRU touch, the per-access fast path.
+    Cache c(32 * 1024, 4, 64);
+    for (std::uint64_t a = 0; a < 32 * 1024; a += 64)
+        c.insert(a, Mesi::Shared);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.lookup(addr));
+        c.touch(addr);
+        addr = (addr + 64) & (32 * 1024 - 1);
+    }
+}
+
+template <typename Cache>
+void
+memPathL2Hit(benchmark::State &state)
+{
+    // Working set fits the 256 KiB L2 but not the 32 KiB L1: each
+    // access misses L1, hits L2, and refills L1 (victim churn included).
+    Cache l1(32 * 1024, 4, 64);
+    Cache l2(256 * 1024, 8, 64);
+    for (std::uint64_t a = 0; a < 256 * 1024; a += 64)
+        l2.insert(a, Mesi::Exclusive);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(l1.lookup(addr));
+        benchmark::DoNotOptimize(l2.lookup(addr));
+        l2.touch(addr);
+        benchmark::DoNotOptimize(l1.insert(addr, Mesi::Exclusive));
+        addr = (addr + 64) & (256 * 1024 - 1);
+    }
+}
+
+template <typename Cache>
+void
+memPathInsertEvict(benchmark::State &state)
+{
+    Cache c(8 * 1024, 1, 64);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(c.insert(addr, Mesi::Modified));
+        addr += 64;
+    }
+}
+
+template <typename Cache>
+void
+memPathInvalidateFrameHot(benchmark::State &state)
+{
+    // Page tear-down with resident lines: populate a 256 KiB cache
+    // with background frames, then repeatedly flush and refill one
+    // fully-resident page.
+    Cache c(256 * 1024, 8, 64);
+    for (FrameNum f = 8; f < 40; ++f)
+        for (std::uint64_t off = 0; off < kPageBytes; off += 64)
+            c.insert((f << kPageShift) | off, Mesi::Shared);
+    for (auto _ : state) {
+        for (std::uint64_t off = 0; off < kPageBytes; off += 64)
+            c.insert((3ULL << kPageShift) | off, Mesi::Modified);
+        benchmark::DoNotOptimize(c.invalidateFrame(3));
+    }
+}
+
+template <typename Cache>
+void
+memPathInvalidateFrameCold(benchmark::State &state)
+{
+    // Page tear-down with nothing resident: the common kernel case
+    // (most frames have no cached lines).  The residency index makes
+    // this O(1); the legacy model scans every line in the cache.
+    Cache c(256 * 1024, 8, 64);
+    for (FrameNum f = 8; f < 40; ++f)
+        for (std::uint64_t off = 0; off < kPageBytes; off += 64)
+            c.insert((f << kPageShift) | off, Mesi::Shared);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(c.invalidateFrame(999));
+}
+
+template <typename Table>
+void
+memPathPageTableLookup(benchmark::State &state)
+{
+    Table pt;
+    constexpr std::uint64_t kVsid = 0x123;
+    for (std::uint64_t p = 0; p < 4096; ++p)
+        pt.map((kVsid << kPageNumBits) | p, p, PageMode::Scoma);
+    std::uint64_t p = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pt.lookup((kVsid << kPageNumBits) | p));
+        p = (p + 1) & 4095;
+    }
+}
+
+void BM_MemPath_TlbHit(benchmark::State &s) { memPathTlbHit<Tlb>(s); }
+BENCHMARK(BM_MemPath_TlbHit);
+void BM_MemPath_TlbHitLegacy(benchmark::State &s)
+{
+    memPathTlbHit<testref::RefTlb>(s);
+}
+BENCHMARK(BM_MemPath_TlbHitLegacy);
+
+void BM_MemPath_TlbMiss(benchmark::State &s) { memPathTlbMiss<Tlb>(s); }
+BENCHMARK(BM_MemPath_TlbMiss);
+void BM_MemPath_TlbMissLegacy(benchmark::State &s)
+{
+    memPathTlbMiss<testref::RefTlb>(s);
+}
+BENCHMARK(BM_MemPath_TlbMissLegacy);
+
+void BM_MemPath_TlbInsertEvict(benchmark::State &s)
+{
+    memPathTlbInsertEvict<Tlb>(s);
+}
+BENCHMARK(BM_MemPath_TlbInsertEvict);
+void BM_MemPath_TlbInsertEvictLegacy(benchmark::State &s)
+{
+    memPathTlbInsertEvict<testref::RefTlb>(s);
+}
+BENCHMARK(BM_MemPath_TlbInsertEvictLegacy);
+
+void BM_MemPath_L1Hit(benchmark::State &s)
+{
+    memPathL1Hit<SetAssocCache>(s);
+}
+BENCHMARK(BM_MemPath_L1Hit);
+void BM_MemPath_L1HitLegacy(benchmark::State &s)
+{
+    memPathL1Hit<testref::RefCache>(s);
+}
+BENCHMARK(BM_MemPath_L1HitLegacy);
+
+void BM_MemPath_L2Hit(benchmark::State &s)
+{
+    memPathL2Hit<SetAssocCache>(s);
+}
+BENCHMARK(BM_MemPath_L2Hit);
+void BM_MemPath_L2HitLegacy(benchmark::State &s)
+{
+    memPathL2Hit<testref::RefCache>(s);
+}
+BENCHMARK(BM_MemPath_L2HitLegacy);
+
+void BM_MemPath_InsertEvict(benchmark::State &s)
+{
+    memPathInsertEvict<SetAssocCache>(s);
+}
+BENCHMARK(BM_MemPath_InsertEvict);
+void BM_MemPath_InsertEvictLegacy(benchmark::State &s)
+{
+    memPathInsertEvict<testref::RefCache>(s);
+}
+BENCHMARK(BM_MemPath_InsertEvictLegacy);
+
+void BM_MemPath_InvalidateFrameHot(benchmark::State &s)
+{
+    memPathInvalidateFrameHot<SetAssocCache>(s);
+}
+BENCHMARK(BM_MemPath_InvalidateFrameHot);
+void BM_MemPath_InvalidateFrameHotLegacy(benchmark::State &s)
+{
+    memPathInvalidateFrameHot<testref::RefCache>(s);
+}
+BENCHMARK(BM_MemPath_InvalidateFrameHotLegacy);
+
+void BM_MemPath_InvalidateFrameCold(benchmark::State &s)
+{
+    memPathInvalidateFrameCold<SetAssocCache>(s);
+}
+BENCHMARK(BM_MemPath_InvalidateFrameCold);
+void BM_MemPath_InvalidateFrameColdLegacy(benchmark::State &s)
+{
+    memPathInvalidateFrameCold<testref::RefCache>(s);
+}
+BENCHMARK(BM_MemPath_InvalidateFrameColdLegacy);
+
+void BM_MemPath_PageTableLookup(benchmark::State &s)
+{
+    memPathPageTableLookup<PageTable>(s);
+}
+BENCHMARK(BM_MemPath_PageTableLookup);
+void BM_MemPath_PageTableLookupLegacy(benchmark::State &s)
+{
+    memPathPageTableLookup<LegacyPageTable>(s);
+}
+BENCHMARK(BM_MemPath_PageTableLookupLegacy);
 
 void
 BM_RngDraw(benchmark::State &state)

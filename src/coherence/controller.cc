@@ -204,7 +204,8 @@ CoherenceController::serviceMiss(FrameNum frame, std::uint32_t line_idx,
       case PageMode::CcNuma: {
         if (e->mode == PageMode::LaNuma)
             co_await delay(pit_.forwardCycles());
-        GLine gl = geo_.lineOf(e->gpage, line_idx);
+        const GPage gpage = e->gpage; // e may be stale after the txn
+        GLine gl = geo_.lineOf(gpage, line_idx);
         if (pending_.count(gl)) {
             ++stats_.retries;
             out->source = MissSource::Retry;
@@ -220,7 +221,7 @@ CoherenceController::serviceMiss(FrameNum frame, std::uint32_t line_idx,
         MsgType mt = for_write ? (local_copy ? MsgType::Upgrade
                                              : MsgType::ReqX)
                                : MsgType::ReqS;
-        TRC(e->gpage, line_idx, "n%u lanuma txn %s t=%llu", self_,
+        TRC(gpage, line_idx, "n%u lanuma txn %s t=%llu", self_,
             msgTypeName(mt), (unsigned long long)eq_.now());
         bool poisoned = false;
         co_await runClientTxn(mt, *e, frame, line_idx, out, &poisoned);
@@ -231,7 +232,8 @@ CoherenceController::serviceMiss(FrameNum frame, std::uint32_t line_idx,
         }
         // Hold a fill token until the bus fill completes so no second
         // transaction (or stale fill) can slip into the window.
-        fillPending_.emplace(gl, FillToken{});
+        if (fillPending_.emplace(gl, FillToken{}).second)
+            pendingPageAdd(gpage);
         co_return;
       }
       case PageMode::Command:
@@ -247,6 +249,7 @@ CoherenceController::runClientTxn(MsgType mt, PitEntry &e, FrameNum frame,
     GLine gl = geo_.lineOf(e.gpage, line_idx);
     ClientTxn txn(eq_);
     pending_[gl] = &txn;
+    pendingPageAdd(e.gpage);
 
     const Tick t0 = eq_.now();
     co_await occupy(cfg_.ctrlOverhead); // compose request, dispatch
@@ -264,6 +267,7 @@ CoherenceController::runClientTxn(MsgType mt, PitEntry &e, FrameNum frame,
     const GPage gpage = e.gpage;
     co_await txn.latch.wait();
     pending_.erase(gl);
+    pendingPageRemove(gpage);
 
     // `e` may be stale: while the transaction was in flight the page
     // can migrate TO this node, and adopting a LA-NUMA mapping retires
@@ -336,6 +340,7 @@ CoherenceController::finishFill(FrameNum frame, std::uint32_t line_idx,
             return true; // peer-supplied fill; validated by the caller
         const bool ok = !it->second.invalidated;
         fillPending_.erase(it);
+        pendingPageRemove(e->gpage);
         return ok;
       }
     }
@@ -468,12 +473,9 @@ CoherenceController::flushClientPage(FrameNum frame, std::uint64_t *wb_lines)
     // fills) and bus-level (in-flight node transactions, including
     // cache-to-cache fills that never reach the controller).
     for (;;) {
-        bool busy = (e->tags && e->tags->anyTransit()) ||
-                    host_.anyBusPending(frame);
-        for (std::uint32_t i = 0; !busy && i < geo_.linesPerPage(); ++i) {
-            const GLine gl = geo_.lineOf(e->gpage, i);
-            busy = pending_.count(gl) != 0 || fillPending_.count(gl) != 0;
-        }
+        const bool busy = (e->tags && e->tags->anyTransit()) ||
+                          host_.anyBusPending(frame) ||
+                          pendingByPage_.count(e->gpage) != 0;
         if (!busy)
             break;
         co_await delay(cfg_.retryDelay);
@@ -558,12 +560,7 @@ CoherenceController::clientPageQuiescent(FrameNum frame) const
         return false;
     if (e->tags && (e->tags->count(FgTag::Invalid) != e->tags->lines()))
         return false;
-    for (std::uint32_t i = 0; i < geo_.linesPerPage(); ++i) {
-        const GLine gl = geo_.lineOf(e->gpage, i);
-        if (pending_.count(gl) || fillPending_.count(gl))
-            return false;
-    }
-    return true;
+    return pendingByPage_.count(e->gpage) == 0;
 }
 
 Cycles

@@ -395,6 +395,23 @@ class CoherenceController
 
     std::unordered_map<GLine, ClientTxn *> pending_;
     std::unordered_map<GLine, FillToken> fillPending_;
+    /**
+     * Lines of each page with an outstanding client transaction or
+     * fill token, so the page-flush drain checks probe one counter
+     * instead of walking every line of the page.
+     */
+    std::unordered_map<GPage, std::uint32_t> pendingByPage_;
+
+    void pendingPageAdd(GPage gp) { ++pendingByPage_[gp]; }
+
+    void
+    pendingPageRemove(GPage gp)
+    {
+        auto it = pendingByPage_.find(gp);
+        if (--it->second == 0)
+            pendingByPage_.erase(it);
+    }
+
     std::unordered_map<GLine, HomeWait *> homeWaits_;
     std::unordered_map<GPage, std::vector<std::unique_ptr<CoMutex>>> locks_;
     std::unordered_map<GPage, HomeMeta> homeMeta_;

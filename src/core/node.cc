@@ -61,11 +61,19 @@ Node::memAccess(Proc &requester, FrameNum frame, std::uint32_t line_idx,
     while (busPending_.count(line_paddr))
         co_await delay(cfg_.retryDelay);
     busPending_.insert(line_paddr);
+    ++busPendingByFrame_[frame];
     struct PendingGuard {
-        std::unordered_set<std::uint64_t> &set;
+        Node &node;
         std::uint64_t key;
-        ~PendingGuard() { set.erase(key); }
-    } guard{busPending_, line_paddr};
+        FrameNum frame;
+        ~PendingGuard()
+        {
+            node.busPending_.erase(key);
+            auto it = node.busPendingByFrame_.find(frame);
+            if (--it->second == 0)
+                node.busPendingByFrame_.erase(it);
+        }
+    } guard{*this, line_paddr, frame};
 
     for (;;) {
         // Address tenure on the split-transaction bus.
@@ -218,11 +226,7 @@ Node::intervene(FrameNum frame, std::uint32_t line_idx, bool invalidate,
 bool
 Node::anyBusPending(FrameNum frame) const
 {
-    for (std::uint64_t lp : busPending_) {
-        if ((lp >> kPageShift) == frame)
-            return true;
-    }
-    return false;
+    return busPendingByFrame_.count(frame) != 0;
 }
 
 bool

@@ -98,8 +98,12 @@ class Node : public ControllerHost
      * from address phase through fill.  A second miss to the same
      * line is retried (split-transaction bus retry semantics), which
      * keeps miss handling atomic with respect to local snoops.
+     * busPendingByFrame_ mirrors it at frame granularity so the
+     * kernel/controller flush loops' anyBusPending() probe is O(1)
+     * instead of a scan over every in-flight line.
      */
     std::unordered_set<std::uint64_t> busPending_;
+    std::unordered_map<FrameNum, std::uint32_t> busPendingByFrame_;
 };
 
 } // namespace prism

@@ -64,12 +64,27 @@ Proc::fastCore(VAddr va, bool write)
         lastFrame_ = frame;
     }
     const std::uint64_t paddr = (frame << kPageShift) | va.offset();
+    const std::uint64_t la =
+        paddr & ~static_cast<std::uint64_t>(cfg_.lineBytes - 1);
+
+    // Batched commit: a repeat hit on the last-committed L1 line needs
+    // no tag probe and no LRU update (the line is already MRU), only
+    // stats and the oracle hook.
+    if (la == fastLineAddr_ && (!write || fastLineWritable_)) {
+        ++stats_.l1Hits;
+        if (oracle_)
+            oracle_->onAccessCommit(node_.id(), id_, frame, paddr,
+                                    write);
+        return true;
+    }
 
     // L1.
     const Mesi s1 = l1_.lookup(paddr);
     if (s1 != Mesi::Invalid) {
         if (!write || s1 == Mesi::Modified) {
             l1_.touch(paddr);
+            fastLineAddr_ = la;
+            fastLineWritable_ = (s1 == Mesi::Modified);
             ++stats_.l1Hits;
             if (oracle_)
                 oracle_->onAccessCommit(node_.id(), id_, frame, paddr,
@@ -77,6 +92,8 @@ Proc::fastCore(VAddr va, bool write)
             return true;
         }
         if (s1 == Mesi::Exclusive) {
+            // No touch here (matching the original model), so the line
+            // may not be MRU: leave the commit cache alone.
             l1_.setState(paddr, Mesi::Modified);
             ++stats_.l1Hits;
             if (oracle_)
@@ -96,6 +113,8 @@ Proc::fastCore(VAddr va, bool write)
         ++stats_.l2Hits;
         l2_.touch(paddr);
         insertL1(paddr, s2);
+        fastLineAddr_ = la;
+        fastLineWritable_ = (s2 == Mesi::Modified);
         if (oracle_)
             oracle_->onAccessCommit(node_.id(), id_, frame, paddr, write);
         return true;
@@ -105,6 +124,8 @@ Proc::fastCore(VAddr va, bool write)
         ++stats_.l2Hits;
         l2_.setState(paddr, Mesi::Modified);
         insertL1(paddr, Mesi::Modified);
+        fastLineAddr_ = la;
+        fastLineWritable_ = true;
         if (oracle_)
             oracle_->onAccessCommit(node_.id(), id_, frame, paddr, write);
         return true;
@@ -115,6 +136,9 @@ Proc::fastCore(VAddr va, bool write)
 void
 Proc::insertL1(std::uint64_t line_paddr, Mesi state)
 {
+    // The insert reorders the set's LRU stack; callers that want the
+    // commit cache re-arm it for the inserted line themselves.
+    clearFastLine();
     auto victim = l1_.insert(line_paddr, state);
     if (victim && victim->state == Mesi::Modified) {
         // Fold the dirty L1 victim into the (inclusive) L2 copy.
@@ -134,6 +158,7 @@ Proc::fillLine(std::uint64_t line_paddr, Mesi state)
     auto victim = l2_.insert(line_paddr, state);
     if (victim) {
         // Inclusion: the L1 copy of the victim must go too.
+        clearFastLine();
         Mesi s1 = l1_.invalidate(victim->lineAddr);
         Mesi merged =
             (s1 == Mesi::Modified) ? Mesi::Modified : victim->state;
@@ -162,9 +187,17 @@ Proc::slowAccess(VAddr va, bool write, std::coroutine_handle<> caller)
                 ++stats_.pageFaults;
                 FrameNum f = kInvalidFrame;
                 co_await node_.kernel().handleFault(vp, &f);
-                tlb_.insert(vp, f);
-                lastVPage_ = vp;
-                lastFrame_ = f;
+                // A page-out can slip in between the fault completing
+                // and this coroutine resuming: its TLB shootdown has
+                // already run, so installing the returned frame now
+                // would revive a dead translation.  Only install what
+                // the page table still holds.
+                const Pte *now = node_.kernel().pageTable().lookup(vp);
+                if (now && now->frame == f) {
+                    tlb_.insert(vp, f);
+                    lastVPage_ = vp;
+                    lastFrame_ = f;
+                }
                 continue;
             }
             pendingCycles_ += cfg_.tlbRefill;
@@ -201,6 +234,8 @@ Proc::snoopLine(std::uint64_t line_paddr, bool invalidate, bool downgrade)
     Mesi merged = s1 > s2 ? s1 : s2; // I < S < E < M
     if (merged == Mesi::Invalid)
         return merged;
+    if (line_paddr == fastLineAddr_)
+        clearFastLine();
     if (invalidate) {
         l1_.invalidate(line_paddr);
         l2_.invalidate(line_paddr);
@@ -219,16 +254,22 @@ Proc::invalidateFrame(FrameNum frame)
 {
     l1_.invalidateFrame(frame);
     l2_.invalidateFrame(frame);
-    if (lastFrame_ == frame)
+    if (lastFrame_ == frame) {
         lastVPage_ = ~0ULL;
+        lastFrame_ = kInvalidFrame;
+    }
+    if ((fastLineAddr_ >> kPageShift) == frame)
+        clearFastLine();
 }
 
 void
 Proc::shootdown(VPage vp)
 {
     tlb_.invalidate(vp);
-    if (lastVPage_ == vp)
+    if (lastVPage_ == vp) {
         lastVPage_ = ~0ULL;
+        lastFrame_ = kInvalidFrame;
+    }
 }
 
 CoTask

@@ -191,6 +191,24 @@ class Proc
     VPage lastVPage_ = ~0ULL;
     FrameNum lastFrame_ = kInvalidFrame;
 
+    /**
+     * Commit cache for consecutive hits on one L1 line: the line's
+     * address and whether a store may commit to it (state Modified).
+     * Only ever set immediately after an operation that made the line
+     * MRU in its set, so a fast commit's skipped touch() is a no-op by
+     * construction.  Cleared on every L1 mutation that could break
+     * that invariant (fills, snoops, frame invalidations).
+     */
+    std::uint64_t fastLineAddr_ = ~0ULL;
+    bool fastLineWritable_ = false;
+
+    void
+    clearFastLine()
+    {
+        fastLineAddr_ = ~0ULL;
+        fastLineWritable_ = false;
+    }
+
     Cycles pendingCycles_ = 0;
     ProcStats stats_;
     Histogram missLatency_{{25, 50, 100, 200, 400, 800, 1600, 3200}};

@@ -1,5 +1,7 @@
 #include "mem/cache.hh"
 
+#include <cstring>
+
 namespace prism {
 
 const char *
@@ -19,68 +21,68 @@ SetAssocCache::SetAssocCache(std::uint32_t size_bytes, std::uint32_t assoc,
     : assoc_(assoc), lineBytes_(line_bytes),
       lineShift_(LineGeometry::log2i(line_bytes)),
       numSets_(size_bytes / (assoc * line_bytes)),
-      lines_(static_cast<std::size_t>(numSets_) * assoc)
+      tags_(static_cast<std::size_t>(numSets_) * assoc, 0),
+      states_(static_cast<std::size_t>(numSets_) * assoc,
+              static_cast<std::uint8_t>(Mesi::Invalid)),
+      order_(static_cast<std::size_t>(numSets_) * assoc, 0)
 {
     prism_assert(numSets_ > 0, "cache with zero sets");
     prism_assert((numSets_ & (numSets_ - 1)) == 0,
                  "cache set count must be a power of two");
-}
-
-std::uint64_t
-SetAssocCache::lineAlign(std::uint64_t paddr) const
-{
-    return paddr & ~static_cast<std::uint64_t>(lineBytes_ - 1);
-}
-
-std::uint32_t
-SetAssocCache::setIndex(std::uint64_t line_addr) const
-{
-    return static_cast<std::uint32_t>((line_addr >> lineShift_) &
-                                      (numSets_ - 1));
-}
-
-SetAssocCache::Line *
-SetAssocCache::find(std::uint64_t paddr)
-{
-    const std::uint64_t la = lineAlign(paddr);
-    Line *set = &lines_[static_cast<std::size_t>(setIndex(la)) * assoc_];
-    for (std::uint32_t w = 0; w < assoc_; ++w) {
-        if (set[w].state != Mesi::Invalid && set[w].addr == la)
-            return &set[w];
+    prism_assert(assoc_ >= 1 && assoc_ <= 255,
+                 "associativity must fit the recency byte array");
+    for (std::size_t s = 0; s < numSets_; ++s) {
+        for (std::uint32_t w = 0; w < assoc_; ++w)
+            order_[s * assoc_ + w] = static_cast<std::uint8_t>(w);
     }
-    return nullptr;
 }
 
-const SetAssocCache::Line *
-SetAssocCache::find(std::uint64_t paddr) const
+void
+SetAssocCache::makeMru(std::size_t base, std::uint8_t way)
 {
-    return const_cast<SetAssocCache *>(this)->find(paddr);
-}
-
-Mesi
-SetAssocCache::lookup(std::uint64_t paddr) const
-{
-    const Line *l = find(paddr);
-    return l ? l->state : Mesi::Invalid;
+    std::uint8_t *ord = &order_[base];
+    if (ord[0] == way)
+        return;
+    std::uint32_t pos = 1;
+    while (ord[pos] != way)
+        ++pos;
+    std::memmove(ord + 1, ord, pos);
+    ord[0] = way;
 }
 
 void
 SetAssocCache::touch(std::uint64_t paddr)
 {
-    Line *l = find(paddr);
-    if (l)
-        l->lastUse = ++useClock_;
+    const std::uint64_t la = lineAlign(paddr);
+    const std::size_t base = rowBase(la);
+    // One scan in recency order doubles as the tag probe and the
+    // order-position search; a touch of the MRU line writes nothing.
+    std::uint8_t *ord = &order_[base];
+    for (std::uint32_t pos = 0; pos < assoc_; ++pos) {
+        const std::uint8_t w = ord[pos];
+        if (tags_[base + w] == la &&
+            states_[base + w] !=
+                static_cast<std::uint8_t>(Mesi::Invalid)) {
+            if (pos) {
+                std::memmove(ord + 1, ord, pos);
+                ord[0] = w;
+            }
+            return;
+        }
+    }
 }
 
 void
 SetAssocCache::setState(std::uint64_t paddr, Mesi s)
 {
-    Line *l = find(paddr);
-    prism_assert(l != nullptr, "setState on absent line");
+    const std::uint64_t la = lineAlign(paddr);
+    const std::size_t base = rowBase(la);
+    const std::uint32_t w = findWay(base, la);
+    prism_assert(w != assoc_, "setState on absent line");
     if (s == Mesi::Invalid)
-        l->state = Mesi::Invalid;
+        clearSlot(base, w);
     else
-        l->state = s;
+        states_[base + w] = static_cast<std::uint8_t>(s);
 }
 
 std::optional<Victim>
@@ -88,33 +90,46 @@ SetAssocCache::insert(std::uint64_t paddr, Mesi s)
 {
     prism_assert(s != Mesi::Invalid, "inserting an Invalid line");
     const std::uint64_t la = lineAlign(paddr);
-    Line *set = &lines_[static_cast<std::size_t>(setIndex(la)) * assoc_];
+    const std::size_t base = rowBase(la);
 
     // Overwrite an existing copy of the same line.
-    for (std::uint32_t w = 0; w < assoc_; ++w) {
-        if (set[w].state != Mesi::Invalid && set[w].addr == la) {
-            set[w].state = s;
-            set[w].lastUse = ++useClock_;
-            return std::nullopt;
-        }
+    const std::uint32_t hit = findWay(base, la);
+    if (hit != assoc_) {
+        states_[base + hit] = static_cast<std::uint8_t>(s);
+        makeMru(base, static_cast<std::uint8_t>(hit));
+        return std::nullopt;
     }
 
-    // Prefer an invalid way.
+    // Prefer an invalid way (lowest way index, as before).
     for (std::uint32_t w = 0; w < assoc_; ++w) {
-        if (set[w].state == Mesi::Invalid) {
-            set[w] = Line{la, s, ++useClock_};
+        if (states_[base + w] ==
+            static_cast<std::uint8_t>(Mesi::Invalid)) {
+            tags_[base + w] = la;
+            states_[base + w] = static_cast<std::uint8_t>(s);
+            makeMru(base, static_cast<std::uint8_t>(w));
+            ++validCount_;
+            resid_.add(la >> kPageShift);
             return std::nullopt;
         }
     }
 
     // Evict the LRU way.
-    Line *victim = &set[0];
-    for (std::uint32_t w = 1; w < assoc_; ++w) {
-        if (set[w].lastUse < victim->lastUse)
-            victim = &set[w];
+    const std::uint8_t v = order_[base + assoc_ - 1];
+    Victim out{tags_[base + v], static_cast<Mesi>(states_[base + v])};
+    const FrameNum oldFrame = tags_[base + v] >> kPageShift;
+    const FrameNum newFrame = la >> kPageShift;
+    if (oldFrame != newFrame) {
+        resid_.remove(oldFrame);
+        resid_.add(newFrame);
     }
-    Victim out{victim->addr, victim->state};
-    *victim = Line{la, s, ++useClock_};
+    tags_[base + v] = la;
+    states_[base + v] = static_cast<std::uint8_t>(s);
+    // The victim sits at the order tail; MRU promotion is a rotation.
+    if (assoc_ > 1) {
+        std::uint8_t *ord = &order_[base];
+        std::memmove(ord + 1, ord, assoc_ - 1);
+        ord[0] = v;
+    }
     return out;
 }
 
@@ -122,31 +137,29 @@ std::optional<Victim>
 SetAssocCache::peekVictim(std::uint64_t paddr) const
 {
     const std::uint64_t la = lineAlign(paddr);
-    const Line *set = &lines_[static_cast<std::size_t>(setIndex(la)) * assoc_];
+    const std::size_t base = rowBase(la);
+    if (findWay(base, la) != assoc_)
+        return std::nullopt;
     for (std::uint32_t w = 0; w < assoc_; ++w) {
-        if (set[w].state != Mesi::Invalid && set[w].addr == la)
+        if (states_[base + w] ==
+            static_cast<std::uint8_t>(Mesi::Invalid))
             return std::nullopt;
     }
-    for (std::uint32_t w = 0; w < assoc_; ++w) {
-        if (set[w].state == Mesi::Invalid)
-            return std::nullopt;
-    }
-    const Line *victim = &set[0];
-    for (std::uint32_t w = 1; w < assoc_; ++w) {
-        if (set[w].lastUse < victim->lastUse)
-            victim = &set[w];
-    }
-    return Victim{victim->addr, victim->state};
+    const std::uint8_t v = order_[base + assoc_ - 1];
+    return Victim{tags_[base + v],
+                  static_cast<Mesi>(states_[base + v])};
 }
 
 Mesi
 SetAssocCache::invalidate(std::uint64_t paddr)
 {
-    Line *l = find(paddr);
-    if (!l)
+    const std::uint64_t la = lineAlign(paddr);
+    const std::size_t base = rowBase(la);
+    const std::uint32_t w = findWay(base, la);
+    if (w == assoc_)
         return Mesi::Invalid;
-    Mesi s = l->state;
-    l->state = Mesi::Invalid;
+    Mesi s = static_cast<Mesi>(states_[base + w]);
+    clearSlot(base, w);
     return s;
 }
 
@@ -154,13 +167,47 @@ std::vector<Victim>
 SetAssocCache::invalidateFrame(FrameNum frame)
 {
     std::vector<Victim> out;
-    const std::uint64_t lo = frame << kPageShift;
-    const std::uint64_t hi = lo + kPageBytes;
-    for (auto &l : lines_) {
-        if (l.state != Mesi::Invalid && l.addr >= lo && l.addr < hi) {
-            out.push_back(Victim{l.addr, l.state});
-            l.state = Mesi::Invalid;
+    std::uint32_t remaining = resid_.count(frame);
+    if (remaining == 0)
+        return out;
+
+    // The frame's lines map to at most linesPerPage consecutive set
+    // indices (mod numSets_); sweep only those, in ascending set order
+    // so victims come out in the same order the full scan produced.
+    const std::uint32_t lpp =
+        static_cast<std::uint32_t>(kPageBytes) >> lineShift_;
+    auto sweepSet = [&](std::uint32_t set) {
+        const std::size_t base = static_cast<std::size_t>(set) * assoc_;
+        for (std::uint32_t w = 0; w < assoc_ && remaining; ++w) {
+            if (states_[base + w] ==
+                    static_cast<std::uint8_t>(Mesi::Invalid) ||
+                (tags_[base + w] >> kPageShift) != frame)
+                continue;
+            out.push_back(Victim{tags_[base + w],
+                                 static_cast<Mesi>(states_[base + w])});
+            clearSlot(base, w);
+            --remaining;
         }
+    };
+
+    if (lpp >= numSets_) {
+        for (std::uint32_t s = 0; s < numSets_ && remaining; ++s)
+            sweepSet(s);
+        return out;
+    }
+    const std::uint32_t first =
+        setIndex(frame << kPageShift); // set of the frame's first line
+    if (first + lpp <= numSets_) {
+        for (std::uint32_t s = first; s < first + lpp && remaining; ++s)
+            sweepSet(s);
+    } else {
+        // The range wraps: ascending set order visits the wrapped
+        // low-index sets first, then the tail.
+        const std::uint32_t wrap = first + lpp - numSets_;
+        for (std::uint32_t s = 0; s < wrap && remaining; ++s)
+            sweepSet(s);
+        for (std::uint32_t s = first; s < numSets_ && remaining; ++s)
+            sweepSet(s);
     }
     return out;
 }
@@ -169,34 +216,11 @@ std::vector<std::pair<std::uint64_t, Mesi>>
 SetAssocCache::snapshot() const
 {
     std::vector<std::pair<std::uint64_t, Mesi>> out;
-    for (const auto &l : lines_) {
-        if (l.state != Mesi::Invalid)
-            out.emplace_back(l.addr, l.state);
+    for (std::size_t i = 0; i < tags_.size(); ++i) {
+        if (states_[i] != static_cast<std::uint8_t>(Mesi::Invalid))
+            out.emplace_back(tags_[i], static_cast<Mesi>(states_[i]));
     }
     return out;
-}
-
-bool
-SetAssocCache::anyInFrame(FrameNum frame) const
-{
-    const std::uint64_t lo = frame << kPageShift;
-    const std::uint64_t hi = lo + kPageBytes;
-    for (const auto &l : lines_) {
-        if (l.state != Mesi::Invalid && l.addr >= lo && l.addr < hi)
-            return true;
-    }
-    return false;
-}
-
-std::uint32_t
-SetAssocCache::validLines() const
-{
-    std::uint32_t n = 0;
-    for (const auto &l : lines_) {
-        if (l.state != Mesi::Invalid)
-            ++n;
-    }
-    return n;
 }
 
 } // namespace prism

@@ -7,6 +7,15 @@
  * the callers.  Addresses are physical: PRISM nodes are physically
  * indexed and tagged, and each node has its own private physical
  * address space.
+ *
+ * The tag store is a structure of arrays: per-set packed tag and state
+ * arrays (way scans touch two small contiguous runs instead of
+ * striding over 24-byte line structs), and per-set recency byte arrays
+ * replacing the old global 64-bit LRU stamps.  A frame-residency index
+ * (per-frame resident-line counts) makes anyInFrame() and validLines()
+ * O(1) and invalidateFrame() proportional to the frame's resident
+ * lines, not the cache size.  All replacement decisions are
+ * bit-identical to the previous array-of-structs implementation.
  */
 
 #ifndef PRISM_MEM_CACHE_HH
@@ -40,6 +49,114 @@ struct Victim {
 };
 
 /**
+ * Open-addressed map from frame number to resident-line count.
+ *
+ * Frames are sparse (imaginary LA-NUMA frames start at 2^24), so a
+ * dense array will not do.  Linear probing over a power-of-two table
+ * of (frame, count) slots -- one cache line per probe.  A slot whose
+ * count drops to zero is deleted immediately with a backward shift,
+ * so the table size tracks the number of frames with resident lines
+ * (bounded by the line count) and probe chains stay short.
+ */
+class FrameResidency
+{
+  public:
+    FrameResidency() : slots_(64), mask_(63) {}
+
+    /** Resident-line count for @p frame (0 if absent). */
+    std::uint32_t
+    count(FrameNum frame) const
+    {
+        std::size_t i = hash(frame) & mask_;
+        while (slots_[i].count) {
+            if (slots_[i].frame == frame)
+                return slots_[i].count;
+            i = (i + 1) & mask_;
+        }
+        return 0;
+    }
+
+    void
+    add(FrameNum frame)
+    {
+        std::size_t i = probe(frame);
+        if (slots_[i].count == 0) {
+            if ((live_ + 1) * 10 >= slots_.size() * 7) {
+                grow();
+                i = probe(frame);
+            }
+            slots_[i].frame = frame;
+            ++live_;
+        }
+        ++slots_[i].count;
+    }
+
+    void
+    remove(FrameNum frame)
+    {
+        std::size_t i = probe(frame);
+        prism_assert(slots_[i].count > 0, "frame-residency underflow");
+        if (--slots_[i].count > 0)
+            return;
+        --live_;
+        // Backward-shift deletion: close the hole so later probes
+        // never cross a dead slot.
+        std::size_t hole = i;
+        std::size_t j = i;
+        for (;;) {
+            j = (j + 1) & mask_;
+            if (slots_[j].count == 0)
+                break;
+            const std::size_t home = hash(slots_[j].frame) & mask_;
+            if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+                slots_[hole] = slots_[j];
+                hole = j;
+            }
+        }
+        slots_[hole].count = 0;
+    }
+
+  private:
+    struct Slot {
+        FrameNum frame = 0;
+        std::uint32_t count = 0;
+    };
+
+    static std::size_t
+    hash(FrameNum f)
+    {
+        return static_cast<std::size_t>(
+            (f * 0x9E3779B97F4A7C15ULL) >> 32);
+    }
+
+    /** Slot holding @p frame, or the empty slot where it would go. */
+    std::size_t
+    probe(FrameNum frame) const
+    {
+        std::size_t i = hash(frame) & mask_;
+        while (slots_[i].count && slots_[i].frame != frame)
+            i = (i + 1) & mask_;
+        return i;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(old.size() * 2, Slot{});
+        mask_ = slots_.size() - 1;
+        for (const Slot &s : old) {
+            if (s.count)
+                slots_[probe(s.frame)] = s;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t mask_;
+    std::size_t live_ = 0;
+};
+
+/**
  * A set-associative cache of MESI tags with true-LRU replacement.
  *
  * Line addresses are physical byte addresses truncated to line
@@ -57,7 +174,19 @@ class SetAssocCache
                   std::uint32_t line_bytes);
 
     /** State of the line containing @p paddr (Invalid if absent). */
-    Mesi lookup(std::uint64_t paddr) const;
+    Mesi
+    lookup(std::uint64_t paddr) const
+    {
+        const std::uint64_t la = lineAlign(paddr);
+        const std::size_t base = rowBase(la);
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (tags_[base + w] == la &&
+                states_[base + w] != static_cast<std::uint8_t>(
+                                         Mesi::Invalid))
+                return static_cast<Mesi>(states_[base + w]);
+        }
+        return Mesi::Invalid;
+    }
 
     /** True if the line is present in any valid state. */
     bool contains(std::uint64_t paddr) const { return lookup(paddr) != Mesi::Invalid; }
@@ -87,14 +216,18 @@ class SetAssocCache
     /** Invalidate every line belonging to physical frame @p frame. */
     std::vector<Victim> invalidateFrame(FrameNum frame);
 
-    /** Number of valid lines currently held. */
-    std::uint32_t validLines() const;
+    /** Number of valid lines currently held (O(1)). */
+    std::uint32_t validLines() const { return validCount_; }
 
     /** Snapshot of all valid (lineAddr, state) pairs (test support). */
     std::vector<std::pair<std::uint64_t, Mesi>> snapshot() const;
 
-    /** True if any valid line belongs to physical frame @p frame. */
-    bool anyInFrame(FrameNum frame) const;
+    /** True if any valid line belongs to physical frame @p frame (O(1)). */
+    bool
+    anyInFrame(FrameNum frame) const
+    {
+        return resid_.count(frame) != 0;
+    }
 
     std::uint32_t numSets() const { return numSets_; }
     std::uint32_t assoc() const { return assoc_; }
@@ -104,23 +237,62 @@ class SetAssocCache
     std::optional<Victim> peekVictim(std::uint64_t paddr) const;
 
   private:
-    struct Line {
-        std::uint64_t addr = 0; //!< line-aligned physical address
-        Mesi state = Mesi::Invalid;
-        std::uint64_t lastUse = 0;
-    };
+    std::uint64_t
+    lineAlign(std::uint64_t paddr) const
+    {
+        return paddr & ~static_cast<std::uint64_t>(lineBytes_ - 1);
+    }
 
-    std::uint64_t lineAlign(std::uint64_t paddr) const;
-    std::uint32_t setIndex(std::uint64_t line_addr) const;
-    Line *find(std::uint64_t paddr);
-    const Line *find(std::uint64_t paddr) const;
+    std::uint32_t
+    setIndex(std::uint64_t line_addr) const
+    {
+        return static_cast<std::uint32_t>((line_addr >> lineShift_) &
+                                          (numSets_ - 1));
+    }
+
+    /** Index of a set's first way slot in the packed arrays. */
+    std::size_t
+    rowBase(std::uint64_t line_addr) const
+    {
+        return static_cast<std::size_t>(setIndex(line_addr)) * assoc_;
+    }
+
+    /** Way holding @p la in the set at @p base, or assoc_ if absent. */
+    std::uint32_t
+    findWay(std::size_t base, std::uint64_t la) const
+    {
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (tags_[base + w] == la &&
+                states_[base + w] != static_cast<std::uint8_t>(
+                                         Mesi::Invalid))
+                return w;
+        }
+        return assoc_;
+    }
+
+    /** Move @p way to the MRU position of the set at @p base. */
+    void makeMru(std::size_t base, std::uint8_t way);
+
+    /** Invalidate the slot at @p base + @p way (bookkeeping). */
+    void
+    clearSlot(std::size_t base, std::uint32_t way)
+    {
+        states_[base + way] =
+            static_cast<std::uint8_t>(Mesi::Invalid);
+        --validCount_;
+        resid_.remove(tags_[base + way] >> kPageShift);
+    }
 
     std::uint32_t assoc_;
     std::uint32_t lineBytes_;
     std::uint32_t lineShift_;
     std::uint32_t numSets_;
-    std::vector<Line> lines_; //!< numSets_ x assoc_, row-major
-    std::uint64_t useClock_ = 0;
+    std::vector<std::uint64_t> tags_;  //!< numSets_ x assoc_, row-major
+    std::vector<std::uint8_t> states_; //!< Mesi, same layout
+    /** Per-set recency order: way ids, MRU first (same row layout). */
+    std::vector<std::uint8_t> order_;
+    std::uint32_t validCount_ = 0;
+    FrameResidency resid_;
 };
 
 } // namespace prism

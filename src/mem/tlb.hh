@@ -6,15 +6,23 @@
  * never holds translations for remote physical memory: LA-NUMA pages
  * translate to imaginary local frames, so TLB shootdowns stay within
  * one node (a key scalability property of the paper).
+ *
+ * The model is an exact fully-associative LRU, implemented as a fixed
+ * slot array threaded on an intrusive recency list, with an
+ * open-addressed index from virtual page to slot.  Lookup, insert,
+ * eviction and invalidation are all O(1); semantics (including the
+ * LRU victim on a full insert) are identical to the previous
+ * unordered_map + 64-bit-stamp implementation.
  */
 
 #ifndef PRISM_MEM_TLB_HH
 #define PRISM_MEM_TLB_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "mem/addr.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace prism {
@@ -23,7 +31,21 @@ namespace prism {
 class Tlb
 {
   public:
-    explicit Tlb(std::uint32_t entries) : capacity_(entries) {}
+    explicit Tlb(std::uint32_t entries)
+        : capacity_(entries), slots_(entries)
+    {
+        prism_assert(entries > 0, "TLB with no entries");
+        std::uint32_t buckets = 4;
+        while (buckets < 4 * entries)
+            buckets <<= 1;
+        bucketMask_ = buckets - 1;
+        index_.assign(buckets, kNoSlot);
+        // All slots start on the free list.
+        for (std::uint32_t i = 0; i + 1 < entries; ++i)
+            slots_[i].next = i + 1;
+        slots_[entries - 1].next = kNoSlot;
+        freeHead_ = 0;
+    }
 
     /**
      * Look up @p vp.
@@ -32,51 +54,180 @@ class Tlb
     FrameNum
     lookup(VPage vp)
     {
-        auto it = map_.find(vp);
-        if (it == map_.end()) {
+        const std::uint32_t s = findSlot(vp);
+        if (s == kNoSlot) {
             ++misses_;
             return kInvalidFrame;
         }
-        it->second.lastUse = ++clock_;
+        moveToFront(s);
         ++hits_;
-        return it->second.frame;
+        return slots_[s].frame;
     }
 
     /** Install a translation (evicts LRU entry when full). */
     void
     insert(VPage vp, FrameNum frame)
     {
-        if (map_.size() >= capacity_ && map_.find(vp) == map_.end()) {
-            auto lru = map_.begin();
-            for (auto it = map_.begin(); it != map_.end(); ++it) {
-                if (it->second.lastUse < lru->second.lastUse)
-                    lru = it;
-            }
-            map_.erase(lru);
+        std::uint32_t s = findSlot(vp);
+        if (s != kNoSlot) {
+            slots_[s].frame = frame;
+            moveToFront(s);
+            return;
         }
-        map_[vp] = Entry{frame, ++clock_};
+        if (size_ >= capacity_) {
+            // Recycle the LRU slot for the new translation.
+            s = lruTail_;
+            unlink(s);
+            eraseIndex(slots_[s].vp);
+            --size_;
+        } else {
+            s = freeHead_;
+            freeHead_ = slots_[s].next;
+        }
+        slots_[s].vp = vp;
+        slots_[s].frame = frame;
+        linkFront(s);
+        indexInsert(vp, s);
+        ++size_;
     }
 
     /** Remove the translation for @p vp if present (local shootdown). */
-    void invalidate(VPage vp) { map_.erase(vp); }
+    void
+    invalidate(VPage vp)
+    {
+        const std::uint32_t s = findSlot(vp);
+        if (s == kNoSlot)
+            return;
+        unlink(s);
+        eraseIndex(vp);
+        slots_[s].next = freeHead_;
+        freeHead_ = s;
+        --size_;
+    }
 
     /** Drop everything (context switch / full shootdown). */
-    void flush() { map_.clear(); }
+    void
+    flush()
+    {
+        index_.assign(index_.size(), kNoSlot);
+        for (std::uint32_t i = 0; i + 1 < capacity_; ++i)
+            slots_[i].next = i + 1;
+        slots_[capacity_ - 1].next = kNoSlot;
+        freeHead_ = 0;
+        mruHead_ = kNoSlot;
+        lruTail_ = kNoSlot;
+        size_ = 0;
+    }
 
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
-    std::size_t size() const { return map_.size(); }
+    std::size_t size() const { return size_; }
     std::uint32_t capacity() const { return capacity_; }
 
   private:
-    struct Entry {
-        FrameNum frame;
-        std::uint64_t lastUse;
+    static constexpr std::uint32_t kNoSlot = ~0U;
+
+    struct Slot {
+        VPage vp = 0;
+        FrameNum frame = kInvalidFrame;
+        std::uint32_t prev = kNoSlot;
+        std::uint32_t next = kNoSlot;
     };
 
+    static std::uint32_t
+    hash(VPage vp)
+    {
+        return static_cast<std::uint32_t>(
+            (vp * 0x9E3779B97F4A7C15ULL) >> 32);
+    }
+
+    /** Slot holding @p vp, or kNoSlot. */
+    std::uint32_t
+    findSlot(VPage vp) const
+    {
+        std::uint32_t i = hash(vp) & bucketMask_;
+        while (index_[i] != kNoSlot) {
+            if (slots_[index_[i]].vp == vp)
+                return index_[i];
+            i = (i + 1) & bucketMask_;
+        }
+        return kNoSlot;
+    }
+
+    void
+    indexInsert(VPage vp, std::uint32_t slot)
+    {
+        std::uint32_t i = hash(vp) & bucketMask_;
+        while (index_[i] != kNoSlot)
+            i = (i + 1) & bucketMask_;
+        index_[i] = slot;
+    }
+
+    /** Linear-probe deletion with backward shift (no tombstones). */
+    void
+    eraseIndex(VPage vp)
+    {
+        std::uint32_t i = hash(vp) & bucketMask_;
+        while (index_[i] == kNoSlot || slots_[index_[i]].vp != vp)
+            i = (i + 1) & bucketMask_;
+        std::uint32_t hole = i;
+        for (std::uint32_t j = (hole + 1) & bucketMask_;
+             index_[j] != kNoSlot; j = (j + 1) & bucketMask_) {
+            const std::uint32_t home =
+                hash(slots_[index_[j]].vp) & bucketMask_;
+            // Shift back entries whose probe path passes the hole.
+            const bool reachable =
+                ((j - home) & bucketMask_) >= ((j - hole) & bucketMask_);
+            if (reachable) {
+                index_[hole] = index_[j];
+                hole = j;
+            }
+        }
+        index_[hole] = kNoSlot;
+    }
+
+    void
+    linkFront(std::uint32_t s)
+    {
+        slots_[s].prev = kNoSlot;
+        slots_[s].next = mruHead_;
+        if (mruHead_ != kNoSlot)
+            slots_[mruHead_].prev = s;
+        mruHead_ = s;
+        if (lruTail_ == kNoSlot)
+            lruTail_ = s;
+    }
+
+    void
+    unlink(std::uint32_t s)
+    {
+        if (slots_[s].prev != kNoSlot)
+            slots_[slots_[s].prev].next = slots_[s].next;
+        else
+            mruHead_ = slots_[s].next;
+        if (slots_[s].next != kNoSlot)
+            slots_[slots_[s].next].prev = slots_[s].prev;
+        else
+            lruTail_ = slots_[s].prev;
+    }
+
+    void
+    moveToFront(std::uint32_t s)
+    {
+        if (mruHead_ == s)
+            return;
+        unlink(s);
+        linkFront(s);
+    }
+
     std::uint32_t capacity_;
-    std::unordered_map<VPage, Entry> map_;
-    std::uint64_t clock_ = 0;
+    std::uint32_t bucketMask_ = 0;
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> index_; //!< bucket -> slot, kNoSlot empty
+    std::uint32_t freeHead_ = kNoSlot;
+    std::uint32_t mruHead_ = kNoSlot;
+    std::uint32_t lruTail_ = kNoSlot;
+    std::uint32_t size_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
 };

@@ -6,13 +6,21 @@
  * translation between virtual and physical addresses; nothing in this
  * table is visible to other nodes, which is what makes page faults,
  * replication and migration free of global TLB invalidations.
+ *
+ * Lookups are on the simulator's hottest path (every TLB refill), so
+ * the table is a two-level direct-index map rather than a hash map: a
+ * short per-segment (VSID) list, each segment holding demand-allocated
+ * chunks of Pte slots indexed directly by page number.  The
+ * simulator's virtual pages are dense within a segment, so this is
+ * O(1) with two dependent loads and no hashing.
  */
 
 #ifndef PRISM_OS_PAGE_TABLE_HH
 #define PRISM_OS_PAGE_TABLE_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
+#include <vector>
 
 #include "coherence/page_mode.hh"
 #include "mem/addr.hh"
@@ -34,26 +42,108 @@ class PageTable
     const Pte *
     lookup(VPage vp) const
     {
-        auto it = map_.find(vp);
-        return it == map_.end() ? nullptr : &it->second;
+        const Segment *seg = findSegment(vp >> kPageNumBits);
+        if (!seg)
+            return nullptr;
+        const std::uint64_t pnum = vp & kPageNumMask;
+        const std::size_t ci = pnum >> kChunkBits;
+        if (ci >= seg->chunks.size() || !seg->chunks[ci])
+            return nullptr;
+        const Pte *pte = &seg->chunks[ci]->slots[pnum & kChunkMask];
+        return pte->frame == kInvalidFrame ? nullptr : pte;
     }
 
     /** Install a mapping. */
     void
     map(VPage vp, FrameNum frame, PageMode mode)
     {
-        map_[vp] = Pte{frame, mode};
+        Segment &seg = segmentFor(vp >> kPageNumBits);
+        const std::uint64_t pnum = vp & kPageNumMask;
+        const std::size_t ci = pnum >> kChunkBits;
+        if (ci >= seg.chunks.size())
+            seg.chunks.resize(ci + 1);
+        if (!seg.chunks[ci])
+            seg.chunks[ci] = std::make_unique<Chunk>();
+        Pte &pte = seg.chunks[ci]->slots[pnum & kChunkMask];
+        if (pte.frame == kInvalidFrame)
+            ++size_;
+        pte = Pte{frame, mode};
     }
 
     /** Remove a mapping. */
-    void unmap(VPage vp) { map_.erase(vp); }
+    void
+    unmap(VPage vp)
+    {
+        Segment *seg = findSegment(vp >> kPageNumBits);
+        if (!seg)
+            return;
+        const std::uint64_t pnum = vp & kPageNumMask;
+        const std::size_t ci = pnum >> kChunkBits;
+        if (ci >= seg->chunks.size() || !seg->chunks[ci])
+            return;
+        Pte &pte = seg->chunks[ci]->slots[pnum & kChunkMask];
+        if (pte.frame != kInvalidFrame) {
+            pte.frame = kInvalidFrame;
+            --size_;
+        }
+    }
 
-    bool mapped(VPage vp) const { return map_.count(vp) != 0; }
+    bool mapped(VPage vp) const { return lookup(vp) != nullptr; }
 
-    std::size_t size() const { return map_.size(); }
+    std::size_t size() const { return size_; }
 
   private:
-    std::unordered_map<VPage, Pte> map_;
+    static constexpr std::uint32_t kChunkBits = 10;
+    static constexpr std::uint64_t kChunkMask = (1ULL << kChunkBits) - 1;
+    static constexpr std::uint64_t kPageNumMask =
+        (1ULL << kPageNumBits) - 1;
+
+    struct Chunk {
+        Pte slots[1ULL << kChunkBits];
+    };
+
+    struct Segment {
+        std::uint64_t vsid;
+        std::vector<std::unique_ptr<Chunk>> chunks;
+    };
+
+    /** A node maps a handful of segments; linear search with a
+     *  most-recently-used fast check beats any hashing here. */
+    const Segment *
+    findSegment(std::uint64_t vsid) const
+    {
+        if (lastSeg_ < segments_.size() &&
+            segments_[lastSeg_].vsid == vsid)
+            return &segments_[lastSeg_];
+        for (std::size_t i = 0; i < segments_.size(); ++i) {
+            if (segments_[i].vsid == vsid) {
+                lastSeg_ = i;
+                return &segments_[i];
+            }
+        }
+        return nullptr;
+    }
+
+    Segment *
+    findSegment(std::uint64_t vsid)
+    {
+        return const_cast<Segment *>(
+            static_cast<const PageTable *>(this)->findSegment(vsid));
+    }
+
+    Segment &
+    segmentFor(std::uint64_t vsid)
+    {
+        if (Segment *s = findSegment(vsid))
+            return *s;
+        segments_.push_back(Segment{vsid, {}});
+        lastSeg_ = segments_.size() - 1;
+        return segments_.back();
+    }
+
+    std::vector<Segment> segments_;
+    mutable std::size_t lastSeg_ = 0;
+    std::size_t size_ = 0;
 };
 
 } // namespace prism

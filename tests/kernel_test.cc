@@ -164,6 +164,69 @@ TEST(Kernel, PrivateFramesAreNodeLocalAndCounted)
     }
 }
 
+TEST(Kernel, ShootdownClearsMicroTranslationCache)
+{
+    Rig rig;
+    // Warm p0's one-entry translation cache (and TLB) on page 0.
+    rig.m.run([&](Proc &p) -> CoTask {
+        return [](Proc &pp, Rig &r) -> CoTask {
+            if (pp.id() == 0)
+                co_await pp.write(r.va(0));
+            co_return;
+        }(p, rig);
+    });
+    Proc &p0 = rig.m.node(0).proc(0);
+    const std::uint64_t refills = p0.stats().tlbRefills.value();
+
+    // A kernel-style remap that keeps the frame (page-mode change)
+    // shoots the translation down without touching the caches.  The
+    // next access must re-walk the page table; a stale micro-TLB
+    // would instead translate silently -- and, when the frame DOES
+    // change, commit to dead memory.
+    p0.shootdown(rig.va(0).page());
+    rig.m.run([&](Proc &p) -> CoTask {
+        return [](Proc &pp, Rig &r) -> CoTask {
+            if (pp.id() == 0)
+                co_await pp.read(r.va(0));
+            co_return;
+        }(p, rig);
+    });
+    EXPECT_EQ(p0.stats().tlbRefills.value(), refills + 1)
+        << "access after shootdown skipped the page-table walk";
+}
+
+TEST(Kernel, ReaccessAfterPageOutTakesAFreshFault)
+{
+    Rig rig;
+    rig.m.run([&](Proc &p) -> CoTask {
+        return [](Proc &pp, Rig &r) -> CoTask {
+            if (pp.id() == 0)
+                co_await pp.write(r.va(0));
+            co_return;
+        }(p, rig);
+    });
+    Kernel &home = rig.m.node(0).kernel();
+    auto drive = [&]() -> FireAndForget {
+        co_await home.pageOutHome(rig.gp(0));
+    };
+    drive();
+    rig.m.eventQueue().runAll();
+
+    // The mapping is gone; the re-access must fault and install a
+    // fresh translation rather than ride any cached one.
+    Proc &p0 = rig.m.node(0).proc(0);
+    const std::uint64_t faults = p0.stats().pageFaults.value();
+    rig.m.run([&](Proc &p) -> CoTask {
+        return [](Proc &pp, Rig &r) -> CoTask {
+            if (pp.id() == 0)
+                co_await pp.write(r.va(0));
+            co_return;
+        }(p, rig);
+    });
+    EXPECT_EQ(p0.stats().pageFaults.value(), faults + 1);
+    EXPECT_TRUE(home.pageTable().mapped(rig.va(0).page()));
+}
+
 TEST(Kernel, UtilizationReflectsTouchedLines)
 {
     Rig rig;

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Naive reference models for the memory-path fast structures.
+ *
+ * These are the pre-optimization implementations of the cache tag
+ * store (array-of-structs, global LRU stamps) and the TLB
+ * (unordered_map with a linear LRU eviction scan), kept verbatim in
+ * spirit so the property suite can drive the production structures and
+ * these references with identical op streams and demand identical
+ * observable behavior: hit/miss sequences, chosen victims, LRU
+ * tie-breaks, frame-invalidation victim order and counters.
+ *
+ * Do not "improve" these models; their value is being the simple,
+ * obviously-correct executable specification.
+ */
+
+#ifndef PRISM_TESTS_MEM_REF_MODELS_HH
+#define PRISM_TESTS_MEM_REF_MODELS_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "mem/cache.hh"
+#include "sim/types.hh"
+
+namespace prism {
+namespace testref {
+
+/**
+ * The retired implementations were out-of-line functions in
+ * src/mem/*.cc; keep the same call boundary here so micro-benchmark
+ * comparisons against them are call-for-call fair instead of letting
+ * the compiler fold a fully-inlined model into the measurement loop.
+ */
+#if defined(__GNUC__) || defined(__clang__)
+#define PRISM_REF_OUTLINE __attribute__((noinline))
+#else
+#define PRISM_REF_OUTLINE
+#endif
+
+/** The original AoS set-associative MESI tag store. */
+class RefCache
+{
+  public:
+    RefCache(std::uint32_t size_bytes, std::uint32_t assoc,
+             std::uint32_t line_bytes)
+        : assoc_(assoc), lineBytes_(line_bytes),
+          lineShift_(LineGeometry::log2i(line_bytes)),
+          numSets_(size_bytes / (assoc * line_bytes)),
+          lines_(static_cast<std::size_t>(numSets_) * assoc)
+    {
+    }
+
+    PRISM_REF_OUTLINE Mesi
+    lookup(std::uint64_t paddr) const
+    {
+        const Line *l = find(paddr);
+        return l ? l->state : Mesi::Invalid;
+    }
+
+    PRISM_REF_OUTLINE void
+    touch(std::uint64_t paddr)
+    {
+        Line *l = find(paddr);
+        if (l)
+            l->lastUse = ++useClock_;
+    }
+
+    void
+    setState(std::uint64_t paddr, Mesi s)
+    {
+        Line *l = find(paddr);
+        if (l)
+            l->state = s;
+    }
+
+    PRISM_REF_OUTLINE std::optional<Victim>
+    insert(std::uint64_t paddr, Mesi s)
+    {
+        const std::uint64_t la = lineAlign(paddr);
+        Line *set = setOf(la);
+
+        // Overwrite an existing copy of the same line.
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (set[w].state != Mesi::Invalid && set[w].addr == la) {
+                set[w].state = s;
+                set[w].lastUse = ++useClock_;
+                return std::nullopt;
+            }
+        }
+        // Prefer an invalid way (lowest index).
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (set[w].state == Mesi::Invalid) {
+                set[w] = Line{la, s, ++useClock_};
+                return std::nullopt;
+            }
+        }
+        // Evict the least-recently-used way (first minimal stamp).
+        Line *victim = &set[0];
+        for (std::uint32_t w = 1; w < assoc_; ++w) {
+            if (set[w].lastUse < victim->lastUse)
+                victim = &set[w];
+        }
+        Victim out{victim->addr, victim->state};
+        *victim = Line{la, s, ++useClock_};
+        return out;
+    }
+
+    PRISM_REF_OUTLINE std::optional<Victim>
+    peekVictim(std::uint64_t paddr) const
+    {
+        const std::uint64_t la = lineAlign(paddr);
+        const Line *set = setOf(la);
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (set[w].state != Mesi::Invalid && set[w].addr == la)
+                return std::nullopt;
+        }
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (set[w].state == Mesi::Invalid)
+                return std::nullopt;
+        }
+        const Line *victim = &set[0];
+        for (std::uint32_t w = 1; w < assoc_; ++w) {
+            if (set[w].lastUse < victim->lastUse)
+                victim = &set[w];
+        }
+        return Victim{victim->addr, victim->state};
+    }
+
+    PRISM_REF_OUTLINE Mesi
+    invalidate(std::uint64_t paddr)
+    {
+        Line *l = find(paddr);
+        if (!l)
+            return Mesi::Invalid;
+        Mesi s = l->state;
+        l->state = Mesi::Invalid;
+        return s;
+    }
+
+    PRISM_REF_OUTLINE std::vector<Victim>
+    invalidateFrame(FrameNum frame)
+    {
+        std::vector<Victim> out;
+        const std::uint64_t lo = frame << kPageShift;
+        const std::uint64_t hi = lo + kPageBytes;
+        for (auto &l : lines_) {
+            if (l.state != Mesi::Invalid && l.addr >= lo && l.addr < hi) {
+                out.push_back(Victim{l.addr, l.state});
+                l.state = Mesi::Invalid;
+            }
+        }
+        return out;
+    }
+
+    PRISM_REF_OUTLINE bool
+    anyInFrame(FrameNum frame) const
+    {
+        const std::uint64_t lo = frame << kPageShift;
+        const std::uint64_t hi = lo + kPageBytes;
+        for (const auto &l : lines_) {
+            if (l.state != Mesi::Invalid && l.addr >= lo && l.addr < hi)
+                return true;
+        }
+        return false;
+    }
+
+    PRISM_REF_OUTLINE std::uint32_t
+    validLines() const
+    {
+        std::uint32_t n = 0;
+        for (const auto &l : lines_) {
+            if (l.state != Mesi::Invalid)
+                ++n;
+        }
+        return n;
+    }
+
+    std::vector<std::pair<std::uint64_t, Mesi>>
+    snapshot() const
+    {
+        std::vector<std::pair<std::uint64_t, Mesi>> out;
+        for (const auto &l : lines_) {
+            if (l.state != Mesi::Invalid)
+                out.emplace_back(l.addr, l.state);
+        }
+        return out;
+    }
+
+  private:
+    struct Line {
+        std::uint64_t addr = 0;
+        Mesi state = Mesi::Invalid;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::uint64_t
+    lineAlign(std::uint64_t paddr) const
+    {
+        return paddr & ~static_cast<std::uint64_t>(lineBytes_ - 1);
+    }
+
+    std::uint32_t
+    setIndex(std::uint64_t la) const
+    {
+        return static_cast<std::uint32_t>((la >> lineShift_) &
+                                          (numSets_ - 1));
+    }
+
+    Line *
+    setOf(std::uint64_t la)
+    {
+        return &lines_[static_cast<std::size_t>(setIndex(la)) * assoc_];
+    }
+
+    const Line *
+    setOf(std::uint64_t la) const
+    {
+        return const_cast<RefCache *>(this)->setOf(la);
+    }
+
+    Line *
+    find(std::uint64_t paddr)
+    {
+        const std::uint64_t la = lineAlign(paddr);
+        Line *set = setOf(la);
+        for (std::uint32_t w = 0; w < assoc_; ++w) {
+            if (set[w].state != Mesi::Invalid && set[w].addr == la)
+                return &set[w];
+        }
+        return nullptr;
+    }
+
+    const Line *
+    find(std::uint64_t paddr) const
+    {
+        return const_cast<RefCache *>(this)->find(paddr);
+    }
+
+    std::uint32_t assoc_;
+    std::uint32_t lineBytes_;
+    std::uint32_t lineShift_;
+    std::uint32_t numSets_;
+    std::vector<Line> lines_;
+    std::uint64_t useClock_ = 0;
+};
+
+/**
+ * The original hash-map TLB.  The LRU eviction scan visits the map in
+ * unspecified order, but the lastUse stamps are unique (one global
+ * clock), so the minimal entry -- and therefore every eviction -- is
+ * deterministic regardless of iteration order.
+ */
+class RefTlb
+{
+  public:
+    explicit RefTlb(std::uint32_t entries) : capacity_(entries) {}
+
+    PRISM_REF_OUTLINE FrameNum
+    lookup(VPage vp)
+    {
+        auto it = map_.find(vp);
+        if (it == map_.end()) {
+            ++misses_;
+            return kInvalidFrame;
+        }
+        it->second.lastUse = ++clock_;
+        ++hits_;
+        return it->second.frame;
+    }
+
+    PRISM_REF_OUTLINE void
+    insert(VPage vp, FrameNum frame)
+    {
+        if (map_.size() >= capacity_ && map_.find(vp) == map_.end()) {
+            auto lru = map_.begin();
+            for (auto it = map_.begin(); it != map_.end(); ++it) {
+                if (it->second.lastUse < lru->second.lastUse)
+                    lru = it;
+            }
+            map_.erase(lru);
+        }
+        map_[vp] = Entry{frame, ++clock_};
+    }
+
+    void invalidate(VPage vp) { map_.erase(vp); }
+
+    void flush() { map_.clear(); }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::size_t size() const { return map_.size(); }
+
+  private:
+    struct Entry {
+        FrameNum frame;
+        std::uint64_t lastUse;
+    };
+
+    std::uint32_t capacity_;
+    std::unordered_map<VPage, Entry> map_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace testref
+} // namespace prism
+
+#endif // PRISM_TESTS_MEM_REF_MODELS_HH
