@@ -8,10 +8,15 @@
  *                 a filter matching nothing is a fatal error)
  *   PRISM_JOBS  = worker threads for the parallel sweep runner
  *                 (default: hardware concurrency; `--jobs N` wins)
+ *   PRISM_JOBS_INTRA = event-loop shards *inside* each simulation
+ *                 (default: 1 = sequential scheduler; `--jobs-intra N`
+ *                 wins; see docs/PERFORMANCE.md "Sharded scheduler")
  *
  * Common CLI (BenchOptions::parse):
  *   --report <path>   write a schema-versioned JSON report
  *   --jobs <n>        worker threads (overrides PRISM_JOBS)
+ *   --jobs-intra <n>  event-loop shards per simulation
+ *                     (overrides PRISM_JOBS_INTRA)
  *   --list            print the application inventory and exit
  *                     (benches that support it)
  * Bench-specific flags (e.g. --ccnuma) pass through via extra().
@@ -130,6 +135,7 @@ banner(const char *what, unsigned jobs = 0)
 struct BenchOptions {
     AppScale scale = AppScale::Paper;
     unsigned jobs = 1;
+    unsigned jobsIntra = 1; //!< event-loop shards per simulation
     std::vector<AppSpec> apps;
     std::string reportPath; //!< empty when --report was not given
     bool list = false;
@@ -141,6 +147,12 @@ struct BenchOptions {
         o.scale = scaleFromEnv();
         o.apps = appsFromEnv(o.scale);
         o.jobs = jobsFromArgs(argc, argv);
+        if (const char *ji = std::getenv("PRISM_JOBS_INTRA")) {
+            int v = std::atoi(ji);
+            if (v < 1)
+                fatal("PRISM_JOBS_INTRA must be >= 1 (got '%s')", ji);
+            o.jobsIntra = static_cast<unsigned>(v);
+        }
         for (int i = 1; i < argc; ++i) {
             if (!std::strcmp(argv[i], "--report") && i + 1 < argc) {
                 o.reportPath = argv[++i];
@@ -153,6 +165,13 @@ struct BenchOptions {
                 ++i; // value consumed by jobsFromArgs above
             } else if (!std::strncmp(argv[i], "--jobs=", 7)) {
                 // handled by jobsFromArgs above
+            } else if (!std::strcmp(argv[i], "--jobs-intra") &&
+                       i + 1 < argc) {
+                o.jobsIntra = parseJobsIntra(argv[++i]);
+            } else if (!std::strncmp(argv[i], "--jobs-intra=", 13)) {
+                o.jobsIntra = parseJobsIntra(argv[i] + 13);
+            } else if (!std::strcmp(argv[i], "--jobs-intra")) {
+                fatal("--jobs-intra requires a count argument");
             } else if (!std::strcmp(argv[i], "--list")) {
                 o.list = true;
             } else {
@@ -176,6 +195,15 @@ struct BenchOptions {
     bool wantReport() const { return !reportPath.empty(); }
 
   private:
+    static unsigned
+    parseJobsIntra(const char *s)
+    {
+        int v = std::atoi(s);
+        if (v < 1)
+            fatal("--jobs-intra must be >= 1 (got '%s')", s);
+        return static_cast<unsigned>(v);
+    }
+
     std::vector<std::string> extra_;
 };
 

@@ -47,6 +47,7 @@ main(int argc, char **argv)
     std::printf("  (exec cycles, SCOMA)\n");
 
     MachineConfig base; // paper machine
+    base.jobsIntra = opts.jobsIntra;
     const auto &apps = opts.apps;
     const auto results = runSweepsParallel(base, apps, policies, jobs);
     for (std::size_t a = 0; a < apps.size(); ++a) {

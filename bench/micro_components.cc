@@ -18,6 +18,7 @@
 #include "os/page_table.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "sim/shard.hh"
 
 #include "../tests/mem_ref_models.hh"
 
@@ -520,6 +521,96 @@ BM_RngDraw(benchmark::State &state)
         benchmark::DoNotOptimize(rng.below(1024));
 }
 BENCHMARK(BM_RngDraw);
+
+// --- Sharded scheduler (sim/shard.hh): the fixed per-window costs ---
+
+/**
+ * One worker-team round with an empty body: two SpinBarrier crossings
+ * plus the coordinator's shard-0 call, i.e. the floor every window
+ * pays regardless of how much simulated work it contains.
+ */
+void
+BM_ShardLoop_BarrierRound(benchmark::State &state)
+{
+    ShardWorkers team(static_cast<unsigned>(state.range(0)));
+    const std::function<void(unsigned)> nop = [](unsigned) {};
+    for (auto _ : state)
+        team.round(nop);
+}
+BENCHMARK(BM_ShardLoop_BarrierRound)->Arg(2)->Arg(4)->Arg(8);
+
+/**
+ * Staging and draining one window's worth of cross-shard entries, with
+ * a payload the size of Network::ShardEntry.  16 pushes + one full
+ * drain per iteration.
+ */
+void
+BM_ShardLoop_ChannelPushDrain(benchmark::State &state)
+{
+    struct Entry {
+        std::uint64_t sendTick, arrival, srcSeq;
+        std::uint32_t src, dst;
+        std::uint64_t pad[3];
+    };
+    constexpr unsigned kShards = 4;
+    ShardChannel<Entry> ch;
+    ch.reset(kShards);
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (unsigned f = 0; f < kShards; ++f) {
+            for (unsigned t = 0; t < kShards; ++t) {
+                ch.lane(f, t).push_back(
+                    Entry{sink, sink + 1, sink, f, t, {}});
+            }
+        }
+        ch.drain([&](Entry &&e) { sink += e.arrival; });
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * kShards * kShards);
+}
+BENCHMARK(BM_ShardLoop_ChannelPushDrain);
+
+/**
+ * The coordinator's window advance over four shard queues, each
+ * holding one self-rescheduling event: the min-next scan, the W bump,
+ * and the below-limit run — the serial glue between barrier rounds.
+ */
+void
+BM_ShardLoop_WindowAdvance(benchmark::State &state)
+{
+    constexpr unsigned kShards = 4;
+    struct Self {
+        EventQueue *q;
+        Cycles l;
+        std::uint64_t *sink;
+        void
+        operator()()
+        {
+            ++*sink;
+            q->scheduleIn(l, *this);
+        }
+    };
+    std::vector<EventQueue> qs(kShards);
+    const Cycles lookahead = conservativeLookahead(120, 8, 300, 140, 400);
+    std::uint64_t sink = 0;
+    for (auto &q : qs)
+        q.schedule(0, Self{&q, lookahead, &sink});
+    Tick w = 0;
+    for (auto _ : state) {
+        Tick min_next = kTickMax;
+        for (auto &q : qs)
+            min_next = std::min(min_next, q.nextEventTick());
+        if (min_next > w)
+            w = min_next;
+        const Tick limit = w + lookahead;
+        for (auto &q : qs) {
+            while (q.nextEventTick() < limit)
+                q.runOne();
+        }
+    }
+    benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_ShardLoop_WindowAdvance);
 
 } // namespace
 } // namespace prism

@@ -55,9 +55,10 @@ phased(Proc &p, std::uint32_t nt)
 }
 
 RunMetrics
-runConfig(bool migration, RunReport *report)
+runConfig(bool migration, unsigned jobs_intra, RunReport *report)
 {
     MachineConfig cfg;
+    cfg.jobsIntra = jobs_intra;
     cfg.migrationEnabled = migration;
     cfg.migrationThreshold = 48;
     Machine m(cfg);
@@ -85,8 +86,8 @@ main(int argc, char **argv)
                 "nodes)\n\n", kPages, kPhases);
 
     RunReport off_report, on_report;
-    RunMetrics off = runConfig(false, &off_report);
-    RunMetrics on = runConfig(true, &on_report);
+    RunMetrics off = runConfig(false, opts.jobsIntra, &off_report);
+    RunMetrics on = runConfig(true, opts.jobsIntra, &on_report);
 
     std::printf("%-28s %14s %14s\n", "metric", "migration OFF",
                 "migration ON");

@@ -52,6 +52,7 @@ main(int argc, char **argv)
         TaskPool pool(jobs);
         for (std::size_t i = 0; i < apps.size(); ++i) {
             MachineConfig sram;
+            sram.jobsIntra = opts.jobsIntra;
             sram.policy = PolicyKind::LaNuma;
             sram.pitLatency = 2;
             MachineConfig dram = sram;

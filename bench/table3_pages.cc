@@ -23,6 +23,7 @@ main(int argc, char **argv)
                 "SCOMA", "LANUMA", "SCOMA util", "LANUMA util");
 
     MachineConfig base;
+    base.jobsIntra = opts.jobsIntra;
     std::vector<RunReport> reports;
     std::vector<BenchRun> runs;
     reports.reserve(opts.apps.size() * 2);

@@ -26,6 +26,7 @@ main(int argc, char **argv)
                 "LANUMA", "SCOMA-70", "PageOuts-70");
 
     MachineConfig base;
+    base.jobsIntra = opts.jobsIntra;
     const std::vector<PolicyKind> policies = {
         PolicyKind::Scoma, PolicyKind::LaNuma, PolicyKind::Scoma70};
     const auto &apps = opts.apps;

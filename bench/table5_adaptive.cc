@@ -25,6 +25,7 @@ main(int argc, char **argv)
                 "Dyn-FCFS", "Dyn-Util", "Dyn-LRU", "PO-Util", "PO-LRU");
 
     MachineConfig base;
+    base.jobsIntra = opts.jobsIntra;
     const std::vector<PolicyKind> policies = {
         PolicyKind::DynFcfs, PolicyKind::DynUtil, PolicyKind::DynLru};
     const auto &apps = opts.apps;

@@ -287,6 +287,7 @@ CoherenceController::runClientTxn(MsgType mt, PitEntry &e, FrameNum frame,
     const char *txn_kind;
     if (txn.dataFetched) {
         ++stats_.remoteMisses;
+        eq_.snapNote(SnapKind::RemoteMiss);
         ScopedHistogram &h =
             txn.threeParty ? latency_.read3 : latency_.read2;
         h.sample(eq_.now() - t0);
@@ -298,6 +299,7 @@ CoherenceController::runClientTxn(MsgType mt, PitEntry &e, FrameNum frame,
         }
     } else {
         ++stats_.upgrades;
+        eq_.snapNote(SnapKind::Upgrade);
         latency_.upgrade.sample(eq_.now() - t0);
         txn_kind = "upgrade";
     }
@@ -872,6 +874,7 @@ CoherenceController::handleHomeRequest(Msg m)
                 }
                 ++acks;
                 ++stats_.invalsSent;
+                eq_.snapNote(SnapKind::InvalSent);
                 send(std::move(inv));
             }
             if (m.type == MsgType::Upgrade && req_was_sharer) {

@@ -174,6 +174,16 @@ struct MachineConfig {
     // --- Simulation -----------------------------------------------------
     std::uint32_t runAheadQuantum = 2000; //!< max local-time run-ahead
     std::uint64_t seed = 12345;
+    /**
+     * Event-loop shards for conservative parallel intra-run
+     * simulation (sim/shard.hh): nodes are split into this many
+     * groups, each driven by its own event queue on its own thread.
+     * 1 (the default) is the sequential scheduler, bit-identical to
+     * the pre-sharding simulator.  Clamped to numNodes; forced to 1
+     * when a sequential-only feature (oracle, jitter, PRISM_TRACE) is
+     * active.  Benches thread `--jobs-intra` / PRISM_JOBS_INTRA here.
+     */
+    std::uint32_t jobsIntra = 1;
 
     std::uint32_t numProcs() const { return numNodes * procsPerNode; }
 };

@@ -1,5 +1,6 @@
 #include "core/machine.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
 
@@ -20,6 +21,44 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
         }
         cfg_.oracleMode = om;
     }
+
+    // Event-loop shard count (sim/shard.hh).  Features that observe or
+    // perturb the global event interleaving — the protocol oracle's
+    // continuous checks, delivery jitter, Chrome tracing — are defined
+    // against the sequential schedule, so they force jobsIntra = 1.
+    std::uint32_t jobs = cfg_.jobsIntra ? cfg_.jobsIntra : 1;
+    if (jobs > cfg_.numNodes)
+        jobs = cfg_.numNodes;
+    if (jobs > 1) {
+        const char *seq_only = nullptr;
+        if (cfg_.oracleMode != OracleMode::Off)
+            seq_only = "the protocol oracle";
+        else if (cfg_.netJitterMax > 0)
+            seq_only = "network delivery jitter";
+        else if (std::getenv("PRISM_TRACE"))
+            seq_only = "PRISM_TRACE";
+        if (seq_only) {
+            inform("jobsIntra=%u ignored: %s requires the sequential "
+                   "scheduler", jobs, seq_only);
+            jobs = 1;
+        }
+    }
+    for (std::uint32_t s = 0; s < jobs; ++s)
+        shards_.push_back(std::make_unique<MachineShard>());
+    shardOfNode_.resize(cfg_.numNodes);
+    for (NodeId n = 0; n < cfg_.numNodes; ++n) {
+        shardOfNode_[n] = static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(n) * jobs / cfg_.numNodes);
+    }
+    const Cycles min_occ =
+        std::min({cfg_.netCtrlOccupancy, cfg_.netDataOccupancy,
+                  cfg_.netPageOccupancy});
+    lookahead_ = conservativeLookahead(cfg_.netLatency, min_occ,
+                                       cfg_.lockAcquireCycles,
+                                       cfg_.lockHandoffCycles,
+                                       cfg_.barrierCycles);
+
+    EventQueue &eq0 = shards_[0]->eq;
     Network::Params np;
     np.oneWayLatency = cfg_.netLatency;
     np.controlOccupancy = cfg_.netCtrlOccupancy;
@@ -27,11 +66,11 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
     np.pageOccupancy = cfg_.netPageOccupancy;
     np.jitterMax = cfg_.netJitterMax;
     np.jitterSeed = cfg_.jitterSeed;
-    net_ = std::make_unique<Network>(eq_, cfg_.numNodes, np);
+    net_ = std::make_unique<Network>(eq0, cfg_.numNodes, np);
 
-    locks_ = std::make_unique<LockManager>(eq_, cfg_.lockAcquireCycles,
+    locks_ = std::make_unique<LockManager>(eq0, cfg_.lockAcquireCycles,
                                            cfg_.lockHandoffCycles);
-    barriers_ = std::make_unique<BarrierManager>(eq_, cfg_.numProcs(),
+    barriers_ = std::make_unique<BarrierManager>(eq0, cfg_.numProcs(),
                                                  cfg_.barrierCycles);
     policy_ = makePolicy(cfg_.policy);
 
@@ -39,8 +78,9 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
     auto sender = [this](Msg &&m) { route(std::move(m)); };
 
     for (NodeId n = 0; n < cfg_.numNodes; ++n) {
-        nodes_.push_back(std::make_unique<Node>(n, cfg_, eq_, *this, ipc_,
-                                                static_home, sender));
+        nodes_.push_back(std::make_unique<Node>(
+            n, cfg_, shards_[shardOfNode_[n]]->eq, *this, ipc_,
+            static_home, sender));
         nodes_.back()->kernel().setPolicy(policy_.get());
     }
 
@@ -76,6 +116,29 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
             nodes_[n]->kernel().setTraceSink(trace_.get());
         }
     }
+
+    if (jobs > 1) {
+        std::vector<EventQueue *> queues;
+        queues.reserve(jobs);
+        for (auto &sh : shards_)
+            queues.push_back(&sh->eq);
+        net_->configureSharding(std::move(queues), shardOfNode_);
+        for (std::uint32_t s = 0; s < jobs; ++s) {
+            shards_[s]->eq.setSnapshotLog(&shards_[s]->snapLog);
+#ifndef NDEBUG
+            shards_[s]->eq.setOwnerShard(s);
+#endif
+        }
+        // Initial sync ranks mirror the sequential scheduler's start
+        // order (programs are started in global processor order), and
+        // grants hand out fresh ranks from numProcs() up.
+        for (ProcId p = 0; p < numProcs(); ++p) {
+            proc(p).setShard(
+                shards_[shardOfNode_[p / cfg_.procsPerNode]].get(), p);
+        }
+        nextSyncRank_ = numProcs();
+        workers_ = std::make_unique<ShardWorkers>(jobs);
+    }
 }
 
 Machine::~Machine()
@@ -91,44 +154,50 @@ void
 Machine::route(Msg &&m)
 {
     prism_assert(m.dst < nodes_.size(), "message to unknown node");
-    // Box the message in a pooled heap slot; the delivery callback
-    // returns the box to the pool, so steady-state routing allocates
-    // nothing (previously: one make_shared<Msg> plus one std::function
-    // heap capture per message).
+    // route() always runs on the *source* node's shard (Kernel::send
+    // and CoherenceController::send stamp src = self), so the source
+    // shard's pool, ring and clock are the right ones.  Boxes are
+    // freed by the destination shard and so migrate between pools;
+    // totals are conserved and each pool is only ever touched by its
+    // owning shard's thread.
+    MachineShard &ssh = *shards_[shardOfNode_[m.src]];
     Msg *boxed;
-    if (msgPool_.empty()) {
+    if (ssh.msgPool.empty()) {
         boxed = new Msg(std::move(m));
     } else {
-        boxed = msgPool_.back().release();
-        msgPool_.pop_back();
+        boxed = ssh.msgPool.back().release();
+        ssh.msgPool.pop_back();
         *boxed = std::move(m);
     }
+    auto &dst_pool = shards_[shardOfNode_[boxed->dst]]->msgPool;
     // The box travels inside the callback as a unique_ptr so that a
     // queue destroyed with deliveries still pending frees it.
-    auto deliver = [this, owned = std::unique_ptr<Msg>(boxed)]() mutable {
+    auto deliver = [this, &dst_pool,
+                    owned = std::unique_ptr<Msg>(boxed)]() mutable {
         Msg &msg = *owned;
         nodes_[msg.dst]->receive(msg);
         msg.payload.reset(); // drop bulk payloads promptly
-        msgPool_.push_back(std::move(owned));
+        dst_pool.push_back(std::move(owned));
     };
     static_assert(sizeof(deliver) <= EventQueue::Callback::kCapacity,
                   "route() delivery capture outgrew the event-callback "
                   "inline buffer; bump kEventCallbackBytes");
     if (oracle_) {
-        oracle_->traceMsg(eq_.now(), boxed->src, boxed->dst,
+        oracle_->traceMsg(ssh.eq.now(), boxed->src, boxed->dst,
                           static_cast<std::uint16_t>(boxed->type),
                           boxed->gpage, boxed->lineIdx);
     }
     // Always-on last-N message history: a few plain stores per message.
-    msgRing_.push(TraceEvent{eq_.now(), boxed->gpage, boxed->lineIdx,
-                             static_cast<std::uint16_t>(boxed->type),
-                             static_cast<std::uint8_t>(boxed->src),
-                             static_cast<std::uint8_t>(boxed->dst)});
+    ssh.msgRing.push(TraceEvent{ssh.eq.now(), boxed->gpage,
+                                boxed->lineIdx,
+                                static_cast<std::uint16_t>(boxed->type),
+                                static_cast<std::uint8_t>(boxed->src),
+                                static_cast<std::uint8_t>(boxed->dst)});
     if (trace_) {
         trace_->instant(msgTypeName(boxed->type), "msg",
                         static_cast<std::int32_t>(boxed->dst),
                         static_cast<std::int32_t>(boxed->lineIdx),
-                        eq_.now());
+                        ssh.eq.now());
     }
     net_->send(boxed->src, boxed->dst, boxed->sizeClass(),
                std::move(deliver));
@@ -156,27 +225,210 @@ Machine::run(const std::function<CoTask(Proc &)> &make)
     for (ProcId p = 0; p < n; ++p)
         tasks.push_back(make(proc(p)));
 
-    std::uint32_t done = 0;
-    for (auto &t : tasks) {
-        t.start([this, &done] {
-            ++done;
-            lastProcDone_ = eq_.now();
+    if (shards_.size() == 1) {
+        std::uint32_t done = 0;
+        for (auto &t : tasks) {
+            t.start([this, &done] {
+                ++done;
+                lastProcDone_ = shards_[0]->eq.now();
+            });
+        }
+        const bool finished =
+            shards_[0]->eq.runWhile([&done, n] { return done == n; });
+        prism_assert(finished,
+                     "event queue drained with %u of %u programs "
+                     "unfinished", n - done, n);
+        drain();
+        if (oracle_)
+            oracle_->sweepQuiescent();
+        return;
+    }
+
+    // Sharded: each program starts as a tick-0 event on its own shard
+    // (its first steps touch node state, so they must run in shard
+    // context), scheduled in global processor order.
+    for (ProcId p = 0; p < n; ++p) {
+        MachineShard &sh =
+            *shards_[shardOfNode_[p / cfg_.procsPerNode]];
+        sh.eq.schedule(0, [&t = tasks[p], &sh] {
+            t.start([&sh] {
+                ++sh.done;
+                sh.lastDone = sh.eq.now();
+            });
         });
     }
-    const bool finished =
-        eq_.runWhile([&done, n] { return done == n; });
-    prism_assert(finished,
-                 "event queue drained with %u of %u programs unfinished",
-                 n - done, n);
-    drain();
-    if (oracle_)
-        oracle_->sweepQuiescent();
+    runShardedLoop();
+    std::uint32_t done = 0;
+    Tick last = 0;
+    for (auto &sh : shards_) {
+        done += sh->done;
+        last = std::max(last, sh->lastDone);
+    }
+    prism_assert(done == n,
+                 "shard queues drained with %u of %u programs "
+                 "unfinished", n - done, n);
+    lastProcDone_ = last;
 }
 
 void
 Machine::drain()
 {
-    eq_.runAll();
+    if (shards_.size() > 1) {
+        runShardedLoop();
+        return;
+    }
+    shards_[0]->eq.runAll();
+}
+
+void
+Machine::runShardWindow(std::uint32_t s)
+{
+#ifndef NDEBUG
+    EventQueue::threadShard() = s;
+#endif
+    MachineShard &sh = *shards_[s];
+    const Tick limit = windowLimit_;
+    while (!sh.markHit && sh.eq.nextEventTick() < limit)
+        sh.eq.runOne();
+#ifndef NDEBUG
+    EventQueue::threadShard() = kAnyShard;
+#endif
+}
+
+std::uint32_t
+Machine::shardOfQueue(const EventQueue *q) const
+{
+    for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+        if (&shards_[s]->eq == q)
+            return s;
+    }
+    panic("sync op from a queue owned by no shard");
+}
+
+void
+Machine::applyMark(const SyncOp &op)
+{
+    const std::uint32_t ms = shardOfQueue(op.q);
+    if (op.kind == SyncOp::MarkBegin) {
+        prism_assert(!parallelBeginSet_, "parallel phase begun twice");
+        parallelBeginSet_ = true;
+        parallelBegin_ = op.tick;
+        beginSnap_ = snapshotAdjusted(op.tick, ms);
+    } else {
+        prism_assert(!parallelEndSet_, "parallel phase ended twice");
+        parallelEndSet_ = true;
+        parallelEnd_ = op.tick;
+        endSnap_ = snapshotAdjusted(op.tick, ms);
+    }
+    // Un-truncate the marking shard and splice the program's
+    // continuation back in ahead of the tick's remaining events,
+    // where the sequential scheduler would have run it synchronously.
+    shards_[ms]->markHit = false;
+    op.q->scheduleFront(op.tick, [h = op.h] { h.resume(); });
+}
+
+void
+Machine::runShardedLoop()
+{
+    const Cycles L = lookahead_;
+    Tick W = 0;
+    for (;;) {
+        // Earliest pending event anywhere — including mark-frozen
+        // shards, whose backlog must keep capping W so that every op
+        // logged in a window has tick >= W (grants then land at
+        // >= W + L, never in any queue's past).
+        Tick min_next = kTickMax;
+        for (auto &sh : shards_)
+            min_next = std::min(min_next, sh->eq.nextEventTick());
+        if (min_next == kTickMax) {
+            if (pendingSync_.empty())
+                break;
+            // Runnable queues are dry but ops are still held behind an
+            // unapplied mark: run an empty round to apply them.
+        } else if (min_next > W) {
+            W = min_next; // window advance doubles as the idle jump
+        }
+        windowLimit_ = W + L;
+
+        // Serial stretches — one runnable shard (or none, while ops
+        // wait behind an unapplied mark) — skip the worker round and
+        // its two barrier crossings; the window runs inline on the
+        // coordinator.  Which thread executes a window never affects
+        // results, and the barrier crossings of neighbouring rounds
+        // order the coordinator's writes against the workers'.
+        std::uint32_t runnable = 0;
+        std::uint32_t only = 0;
+        for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+            if (!shards_[s]->markHit &&
+                shards_[s]->eq.nextEventTick() < windowLimit_) {
+                ++runnable;
+                only = s;
+            }
+        }
+        if (runnable > 1) {
+            workers_->round(
+                [this](std::uint32_t s) { runShardWindow(s); });
+        } else if (runnable == 1) {
+            runShardWindow(only);
+        }
+
+        // --- Coordinator: every shard is parked at the barrier. ------
+        net_->drainShardChannel();
+        net_->foldShardCounters();
+
+        std::vector<SyncOp> ops = std::move(pendingSync_);
+        pendingSync_.clear();
+        for (auto &sh : shards_) {
+            ops.insert(ops.end(), sh->syncOps.begin(),
+                       sh->syncOps.end());
+            sh->syncOps.clear();
+        }
+        std::sort(ops.begin(), ops.end(), SyncOp::before);
+
+        auto grant = [this](const SyncWaiter &w, Tick at) {
+            w.actor->rank = nextSyncRank_++;
+            w.q->schedule(at, [h = w.h] { h.resume(); });
+        };
+        std::size_t i = 0;
+        for (; i < ops.size(); ++i) {
+            const SyncOp &op = ops[i];
+            if (op.kind == SyncOp::MarkBegin ||
+                op.kind == SyncOp::MarkEnd) {
+                // Apply the mark, hold everything ordered after it:
+                // its snapshot must not see later ops' effects, and
+                // held ops re-merge (and re-sort) next round.
+                applyMark(op);
+                ++i;
+                break;
+            }
+            const SyncWaiter w{op.h, op.q, op.actor};
+            switch (op.kind) {
+              case SyncOp::LockAcquire:
+                locks_->applyAcquire(op.id, w, op.tick, grant);
+                break;
+              case SyncOp::LockRelease:
+                locks_->applyRelease(op.id, op.tick, grant);
+                break;
+              case SyncOp::BarrierArrive:
+                barriers_->applyArrive(op.id, w, op.tick, grant);
+                break;
+              default:
+                panic("unhandled sync op kind %u",
+                      static_cast<unsigned>(op.kind));
+            }
+        }
+        pendingSync_.assign(std::make_move_iterator(ops.begin() + i),
+                            std::make_move_iterator(ops.end()));
+        if (pendingSync_.empty()) {
+            // No mark in flight: nothing can need a snapshot of a past
+            // tick any more, so the logs can be recycled.
+            for (auto &sh : shards_)
+                sh->snapLog.clear();
+        }
+    }
+    prism_assert(net_->shardTrafficQuiescent(),
+                 "sharded run ended with traffic still staged");
+    net_->foldShardHistograms();
 }
 
 Machine::Snapshot
@@ -192,12 +444,38 @@ Machine::snapshot() const
     return s;
 }
 
+Machine::Snapshot
+Machine::snapshotAdjusted(Tick at, std::uint32_t mark_shard) const
+{
+    Snapshot s = snapshot();
+    std::uint64_t over[kSnapKinds] = {};
+    for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+        if (i == mark_shard)
+            continue;
+        shards_[i]->snapLog.tallyAtOrAfter(at, over);
+    }
+    auto sub = [](std::uint64_t &field, std::uint64_t amount) {
+        prism_assert(field >= amount,
+                     "snapshot adjustment underflow (%llu < %llu)",
+                     static_cast<unsigned long long>(field),
+                     static_cast<unsigned long long>(amount));
+        field -= amount;
+    };
+    sub(s.remoteMisses, over[std::size_t(SnapKind::RemoteMiss)]);
+    sub(s.upgrades, over[std::size_t(SnapKind::Upgrade)]);
+    sub(s.invalidations, over[std::size_t(SnapKind::InvalSent)]);
+    sub(s.clientPageOuts, over[std::size_t(SnapKind::ClientPageOut)]);
+    sub(s.pageFaults, over[std::size_t(SnapKind::Fault)]);
+    sub(s.networkMessages, over[std::size_t(SnapKind::NetMsg)]);
+    return s;
+}
+
 void
 Machine::markParallelBegin()
 {
     prism_assert(!parallelBeginSet_, "parallel phase begun twice");
     parallelBeginSet_ = true;
-    parallelBegin_ = eq_.now();
+    parallelBegin_ = shards_[0]->eq.now();
     beginSnap_ = snapshot();
 }
 
@@ -206,7 +484,7 @@ Machine::markParallelEnd()
 {
     prism_assert(!parallelEndSet_, "parallel phase ended twice");
     parallelEndSet_ = true;
-    parallelEnd_ = eq_.now();
+    parallelEnd_ = shards_[0]->eq.now();
     endSnap_ = snapshot();
 }
 
@@ -220,7 +498,10 @@ Machine::metrics()
     const Snapshot e = parallelEndSet_ ? endSnap_ : snapshot();
 
     m.execCycles = end > begin ? end - begin : 0;
-    m.totalCycles = eq_.now();
+    Tick total = 0;
+    for (const auto &sh : shards_)
+        total = std::max(total, sh->eq.now());
+    m.totalCycles = total;
     m.remoteMisses = e.remoteMisses - b.remoteMisses;
     m.clientPageOuts = e.clientPageOuts - b.clientPageOuts;
     m.upgrades = e.upgrades - b.upgrades;

@@ -27,6 +27,8 @@
 #include "os/ipc_server.hh"
 #include "policy/page_policy.hh"
 #include "sim/event_queue.hh"
+#include "sim/shard.hh"
+#include "sim/snap_log.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 
@@ -34,6 +36,35 @@ namespace prism {
 
 class ProtocolOracle;
 class TraceSink;
+
+/**
+ * Everything one event-loop shard owns (sim/shard.hh).  The sequential
+ * scheduler is the one-shard special case: shard 0 holds THE event
+ * queue, message pool and message ring, and every other field stays
+ * idle.  With jobsIntra > 1 each shard drives a contiguous block of
+ * nodes on its own thread; all fields are written only by the owning
+ * shard's thread during a window, and read/reset only by the
+ * coordinator between windows.
+ */
+struct MachineShard {
+    EventQueue eq;
+    /** Tick-tagged snapshot-counter increments (mark adjustment). */
+    SnapshotLog snapLog;
+    /** Sync ops logged this window, applied at the barrier. */
+    std::vector<SyncOp> syncOps;
+    /** Last-N message history for this shard's nodes. */
+    TraceRing msgRing;
+    /** Recycled message boxes for route() (freed by the *destination*
+     *  shard, so boxes migrate between pools; see Machine::route). */
+    std::vector<std::unique_ptr<Msg>> msgPool;
+    /** A parallel-phase mark was logged and not yet applied: the
+     *  window is truncated and stays truncated until the coordinator
+     *  applies the mark and front-splices the continuation. */
+    bool markHit = false;
+    /** Programs finished on this shard, and the last finish tick. */
+    std::uint32_t done = 0;
+    Tick lastDone = 0;
+};
 
 /** The whole simulated multiprocessor. */
 class Machine
@@ -46,7 +77,37 @@ class Machine
     Machine &operator=(const Machine &) = delete;
 
     const MachineConfig &config() const { return cfg_; }
-    EventQueue &eventQueue() { return eq_; }
+
+    /**
+     * Shard 0's event queue — the *only* queue in sequential mode
+     * (jobsIntra == 1, the default).  Callers that drive the queue by
+     * hand (latency probes, unit tests) require sequential mode.
+     */
+    EventQueue &eventQueue() { return shards_[0]->eq; }
+
+    /** Number of event-loop shards (1 = sequential scheduler). */
+    std::uint32_t
+    numShards() const
+    {
+        return static_cast<std::uint32_t>(shards_.size());
+    }
+
+    /** Shard driving @p n 's event loop. */
+    std::uint32_t shardOfNode(NodeId n) const { return shardOfNode_[n]; }
+
+    /** Conservative window lookahead, cycles (sharded mode). */
+    Cycles lookahead() const { return lookahead_; }
+
+    /** Events executed, aggregated over every shard's queue. */
+    std::uint64_t
+    eventsExecuted() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &sh : shards_)
+            total += sh->eq.eventsExecuted();
+        return total;
+    }
+
     Network &network() { return *net_; }
     IpcServer &ipc() { return ipc_; }
     LockManager &locks() { return *locks_; }
@@ -57,8 +118,17 @@ class Machine
     /**
      * Always-on bounded history of recent protocol messages (the
      * last-N debugging buffer; see obs/ for the full trace sink).
+     * Sharded mode keeps one ring per shard; this returns shard 0's
+     * (the whole history in sequential mode).
      */
-    const TraceRing &messageRing() const { return msgRing_; }
+    const TraceRing &messageRing() const { return shards_[0]->msgRing; }
+
+    /** Shard @p s 's message-history ring. */
+    const TraceRing &
+    messageRing(std::uint32_t s) const
+    {
+        return shards_[s]->msgRing;
+    }
 
     /** Protocol oracle; nullptr when oracleMode is Off. */
     ProtocolOracle *oracle() { return oracle_.get(); }
@@ -147,8 +217,33 @@ class Machine
 
     Snapshot snapshot() const;
 
+    /**
+     * snapshot() as of tick @p at: the registry totals minus every
+     * increment other shards (not @p mark_shard, whose own execution
+     * order already respects the mark) logged at or after @p at.
+     */
+    Snapshot snapshotAdjusted(Tick at, std::uint32_t mark_shard) const;
+
+    // --- Sharded run loop (jobsIntra > 1) ------------------------------
+
+    /** Windows of [W, W+L) until every queue and channel is dry. */
+    void runShardedLoop();
+
+    /** One shard's slice of a window: run events below windowLimit_. */
+    void runShardWindow(std::uint32_t s);
+
+    /** Apply a deferred parallel-phase mark (coordinator). */
+    void applyMark(const SyncOp &op);
+
+    /** Index of the shard that owns @p q. */
+    std::uint32_t shardOfQueue(const EventQueue *q) const;
+
     MachineConfig cfg_;
-    EventQueue eq_;
+    /** Event-loop shards; shards_[0] doubles as the sequential queue.
+     *  unique_ptr for address stability: nodes hold EventQueue&. */
+    std::vector<std::unique_ptr<MachineShard>> shards_;
+    std::vector<std::uint32_t> shardOfNode_;
+    Cycles lookahead_ = 0;
     std::unique_ptr<Network> net_;
     IpcServer ipc_;
     std::unique_ptr<LockManager> locks_;
@@ -157,12 +252,16 @@ class Machine
     std::vector<std::unique_ptr<Node>> nodes_;
     std::unique_ptr<ProtocolOracle> oracle_;
     MetricRegistry registry_;
-    TraceRing msgRing_;
     std::unique_ptr<TraceSink> trace_;
-    /** Recycled message boxes for route(): in-flight messages live on
-     *  the heap (the delivery callback holds a raw pointer), but boxes
-     *  are reused so steady-state routing performs no allocation. */
-    std::vector<std::unique_ptr<Msg>> msgPool_;
+    /** Worker threads for shards 1..N-1 (null in sequential mode). */
+    std::unique_ptr<ShardWorkers> workers_;
+    /** Current window's exclusive limit W+L (set by the coordinator
+     *  before each round; read by shard threads during it). */
+    Tick windowLimit_ = 0;
+    /** Sync ops held across a round because a mark preceded them. */
+    std::vector<SyncOp> pendingSync_;
+    /** Next grant rank (see SyncActor); seeded to numProcs(). */
+    std::uint64_t nextSyncRank_ = 0;
 
     Tick parallelBegin_ = 0;
     Tick parallelEnd_ = 0;

@@ -8,6 +8,31 @@
 
 namespace prism {
 
+namespace {
+
+/**
+ * Sharded-mode synchronization: suspend the program coroutine and log
+ * the op with the shard; the coordinator applies it at the next window
+ * barrier and schedules the resume back into this shard's queue.
+ */
+struct DeferredSyncAwaiter {
+    Proc &p;
+    std::uint8_t kind;
+    std::uint64_t id;
+
+    bool await_ready() const { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        p.enqueueSyncOp(kind, id, h);
+    }
+
+    void await_resume() const {}
+};
+
+} // namespace
+
 Proc::Proc(ProcId id, Node &node, Machine &machine,
            const MachineConfig &cfg, EventQueue &eq)
     : id_(id), node_(node), machine_(machine), cfg_(cfg), eq_(eq),
@@ -272,39 +297,67 @@ Proc::shootdown(VPage vp)
     }
 }
 
+void
+Proc::enqueueSyncOp(std::uint8_t kind, std::uint64_t id,
+                    std::coroutine_handle<> h)
+{
+    prism_assert(shard_, "sync op logged outside sharded mode");
+    shard_->syncOps.push_back(SyncOp{eq_.now(), actor_.rank,
+                                     actor_.nextSeq++,
+                                     static_cast<SyncOp::Kind>(kind), id,
+                                     h, &eq_, &actor_});
+    if (kind == SyncOp::MarkBegin || kind == SyncOp::MarkEnd)
+        shard_->markHit = true;
+}
+
 CoTask
 Proc::barrier(std::uint64_t id)
 {
     co_await flushTime();
-    co_await machine_.barriers().arrive(id);
+    if (shard_)
+        co_await DeferredSyncAwaiter{*this, SyncOp::BarrierArrive, id};
+    else
+        co_await machine_.barriers().arrive(id);
 }
 
 CoTask
 Proc::lock(std::uint64_t id)
 {
     co_await flushTime();
-    co_await machine_.locks().acquire(id);
+    if (shard_)
+        co_await DeferredSyncAwaiter{*this, SyncOp::LockAcquire, id};
+    else
+        co_await machine_.locks().acquire(id);
 }
 
 CoTask
 Proc::unlock(std::uint64_t id)
 {
     co_await flushTime();
-    machine_.locks().release(id);
+    if (shard_)
+        enqueueSyncOp(SyncOp::LockRelease, id, {}); // no suspension
+    else
+        machine_.locks().release(id);
 }
 
 CoTask
 Proc::beginParallel()
 {
     co_await flushTime();
-    machine_.markParallelBegin();
+    if (shard_)
+        co_await DeferredSyncAwaiter{*this, SyncOp::MarkBegin, 0};
+    else
+        machine_.markParallelBegin();
 }
 
 CoTask
 Proc::endParallel()
 {
     co_await flushTime();
-    machine_.markParallelEnd();
+    if (shard_)
+        co_await DeferredSyncAwaiter{*this, SyncOp::MarkEnd, 0};
+    else
+        machine_.markParallelEnd();
 }
 
 void

@@ -24,6 +24,7 @@
 #include "mem/tlb.hh"
 #include "obs/metrics.hh"
 #include "sim/event_queue.hh"
+#include "sim/shard.hh"
 #include "sim/stats.hh"
 #include "sim/task.hh"
 
@@ -32,6 +33,7 @@ namespace prism {
 class Node;
 class Machine;
 class ProtocolOracle;
+struct MachineShard;
 
 /** Per-processor statistics, as labeled scoped handles. */
 struct ProcStats {
@@ -133,6 +135,28 @@ class Proc
     void setOracle(ProtocolOracle *o) { oracle_ = o; }
 
     /**
+     * Sharded scheduler: bind this processor to its node's shard and
+     * seed its synchronization rank (Machine construction).  Unbound
+     * (the default), sync ops take the sequential awaitable path.
+     */
+    void
+    setShard(MachineShard *shard, std::uint64_t initial_rank)
+    {
+        shard_ = shard;
+        actor_.rank = initial_rank;
+    }
+
+    /**
+     * Sharded scheduler: log a synchronization op (SyncOp::Kind
+     * @p kind on object @p id) with the owning shard for deterministic
+     * application by the coordinator at the next window barrier.
+     * @p h is the suspended continuation (null for ops that do not
+     * suspend, i.e. lock release).
+     */
+    void enqueueSyncOp(std::uint8_t kind, std::uint64_t id,
+                       std::coroutine_handle<> h);
+
+    /**
      * Bind this processor's counters into @p reg under component
      * "proc", node @p node, names "p<lane>.<counter>".
      */
@@ -179,6 +203,8 @@ class Proc
     Node &node_;
     Machine &machine_;
     ProtocolOracle *oracle_ = nullptr;
+    MachineShard *shard_ = nullptr; //!< non-null only when sharded
+    SyncActor actor_;               //!< rank/seq for deterministic sync
     const MachineConfig &cfg_;
     EventQueue &eq_;
     LineGeometry geo_;

@@ -7,6 +7,16 @@
  * simulator primitives that charge the latency of the equivalent
  * remote round trips, preserving serialization behaviour and cost
  * without simulating test-and-set reference streams (see DESIGN.md).
+ *
+ * Two entry paths share the same state and statistics:
+ *  - the awaitable path (acquire/release/arrive), used by the
+ *    sequential scheduler: ops take effect synchronously and resumes
+ *    are scheduled on the manager's own event queue;
+ *  - the apply path (applyAcquire/applyRelease/applyArrive), used by
+ *    the sharded coordinator (sim/shard.hh): shards log SyncOps
+ *    during a window and the coordinator applies them here in
+ *    deterministic order, scheduling resumes through a grant callback
+ *    into each waiter's own shard queue.
  */
 
 #ifndef PRISM_CORE_SYNC_HH
@@ -20,9 +30,21 @@
 
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
+#include "sim/shard.hh"
 #include "sim/types.hh"
 
 namespace prism {
+
+/**
+ * A parked waiter.  The sequential path stores only the handle; the
+ * sharded apply path also carries the waiter's shard queue and rank
+ * slot so a later grant can resume it deterministically.
+ */
+struct SyncWaiter {
+    std::coroutine_handle<> h;
+    EventQueue *q = nullptr;
+    SyncActor *actor = nullptr;
+};
 
 /** FIFO queued locks, keyed by an application-chosen id. */
 class LockManager
@@ -33,7 +55,7 @@ class LockManager
     {
     }
 
-    /** Awaitable acquire of lock @p id. */
+    /** Awaitable acquire of lock @p id (sequential scheduler). */
     auto
     acquire(std::uint64_t id)
     {
@@ -53,7 +75,7 @@ class LockManager
                     m.eq_.scheduleIn(m.acquireCost_, [h] { h.resume(); });
                 } else {
                     ++m.contended_;
-                    l.waiters.push_back(h);
+                    l.waiters.push_back(SyncWaiter{h, nullptr, nullptr});
                 }
             }
 
@@ -74,10 +96,51 @@ class LockManager
             l.held = false;
             return;
         }
-        auto h = l.waiters.front();
+        auto h = l.waiters.front().h;
         l.waiters.pop_front();
         ++acquires_;
         eq_.scheduleIn(handoffCost_, [h] { h.resume(); });
+    }
+
+    /**
+     * Sharded apply path: acquire issued at @p tick by @p w.  When the
+     * lock is free the grant fires at tick + acquireCost; otherwise
+     * the waiter parks in FIFO order, exactly like the awaitable path.
+     * @p grant is `void(const SyncWaiter &, Tick resume_at)`.
+     */
+    template <typename GrantFn>
+    void
+    applyAcquire(std::uint64_t id, const SyncWaiter &w, Tick tick,
+                 GrantFn &&grant)
+    {
+        Lock &l = locks_[id];
+        if (!l.held) {
+            l.held = true;
+            ++acquires_;
+            grant(w, tick + acquireCost_);
+        } else {
+            ++contended_;
+            l.waiters.push_back(w);
+        }
+    }
+
+    /** Sharded apply path: release issued at @p tick. */
+    template <typename GrantFn>
+    void
+    applyRelease(std::uint64_t id, Tick tick, GrantFn &&grant)
+    {
+        auto it = locks_.find(id);
+        prism_assert(it != locks_.end() && it->second.held,
+                     "releasing an unheld lock");
+        Lock &l = it->second;
+        if (l.waiters.empty()) {
+            l.held = false;
+            return;
+        }
+        SyncWaiter w = l.waiters.front();
+        l.waiters.pop_front();
+        ++acquires_;
+        grant(w, tick + handoffCost_);
     }
 
     std::uint64_t acquires() const { return acquires_; }
@@ -86,7 +149,7 @@ class LockManager
   private:
     struct Lock {
         bool held = false;
-        std::deque<std::coroutine_handle<>> waiters;
+        std::deque<SyncWaiter> waiters;
     };
 
     EventQueue &eq_;
@@ -106,7 +169,7 @@ class BarrierManager
     {
     }
 
-    /** Awaitable arrival at barrier @p id. */
+    /** Awaitable arrival at barrier @p id (sequential scheduler). */
     auto
     arrive(std::uint64_t id)
     {
@@ -120,13 +183,15 @@ class BarrierManager
             await_suspend(std::coroutine_handle<> h)
             {
                 Bar &b = m.bars_[id];
-                b.waiters.push_back(h);
+                b.waiters.push_back(SyncWaiter{h, nullptr, nullptr});
                 if (b.waiters.size() == m.participants_) {
                     ++m.episodes_;
                     auto ws = std::move(b.waiters);
                     b.waiters.clear();
-                    for (auto w : ws)
-                        m.eq_.scheduleIn(m.cost_, [w] { w.resume(); });
+                    for (const auto &w : ws) {
+                        m.eq_.scheduleIn(m.cost_,
+                                         [h = w.h] { h.resume(); });
+                    }
                 }
             }
 
@@ -135,11 +200,33 @@ class BarrierManager
         return Awaiter{*this, id};
     }
 
+    /**
+     * Sharded apply path: arrival issued at @p tick by @p w.  The
+     * completing arrival (by construction the latest tick, since the
+     * coordinator applies ops in time order) releases every waiter in
+     * arrival order at tick + cost.
+     */
+    template <typename GrantFn>
+    void
+    applyArrive(std::uint64_t id, const SyncWaiter &w, Tick tick,
+                GrantFn &&grant)
+    {
+        Bar &b = bars_[id];
+        b.waiters.push_back(w);
+        if (b.waiters.size() == participants_) {
+            ++episodes_;
+            auto ws = std::move(b.waiters);
+            b.waiters.clear();
+            for (const auto &waiter : ws)
+                grant(waiter, tick + cost_);
+        }
+    }
+
     std::uint64_t episodes() const { return episodes_; }
 
   private:
     struct Bar {
-        std::vector<std::coroutine_handle<>> waiters;
+        std::vector<SyncWaiter> waiters;
     };
 
     EventQueue &eq_;

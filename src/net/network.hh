@@ -13,12 +13,16 @@
 #ifndef PRISM_NET_NETWORK_HH
 #define PRISM_NET_NETWORK_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "sim/shard.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace prism {
@@ -66,6 +70,11 @@ class Network
     void
     send(NodeId src, NodeId dst, MsgSize size, F &&deliver)
     {
+        if (sharded_) {
+            sendSharded(src, dst, size,
+                        EventQueue::Callback(std::forward<F>(deliver)));
+            return;
+        }
         const Cycles occ = occupancy(size);
         ++messages_;
         bytesProxy_ += occ;
@@ -125,7 +134,206 @@ class Network
                  &deliveryPage_, "send-to-delivery, page-bulk messages");
     }
 
+    // --- Sharded mode (sim/shard.hh) ----------------------------------
+    //
+    // With intra-run sharding every send is decomposed: the egress NIC
+    // is booked synchronously on the source shard (it owns the source
+    // node), and the ingress side becomes a time-stamped entry that a
+    // per-destination "pump" books in (arrival, source, sequence)
+    // order — same-shard entries are enqueued directly, cross-shard
+    // entries travel through the staging channel and are enqueued by
+    // the coordinator at the window barrier.  Booking in arrival order
+    // (instead of global send order, which no shard can observe) is
+    // the one modeling difference from the sequential path: it only
+    // matters when ingress bookings overlap under congestion, where
+    // the two orders are different valid serializations of the same
+    // queueing model.  Sharded runs are therefore deterministic and
+    // shard-count-invariant but not byte-identical to `--jobs-intra
+    // 1`; the measured deltas are documented in docs/PERFORMANCE.md
+    // ("Sharded scheduler").  Jitter requires the sequential scheduler
+    // (Machine falls back and says so).
+
+    /** One in-flight message on the sharded ingress path. */
+    struct ShardEntry {
+        Tick sendTick;
+        Tick arrival; //!< egress done + wire; ingress booking key
+        NodeId src;
+        NodeId dst;
+        std::uint8_t sizeIdx; //!< MsgSize as an index
+        std::uint64_t srcSeq; //!< per-source send sequence (FIFO key)
+        EventQueue::Callback deliver;
+    };
+
+    /**
+     * Enable the sharded send path.  @p queues maps shard -> event
+     * queue, @p shard_of maps node -> shard.  Must be called before
+     * any traffic; the sequential path is bit-identical when this is
+     * never called.
+     */
+    void
+    configureSharding(std::vector<EventQueue *> queues,
+                      std::vector<std::uint32_t> shard_of)
+    {
+        sharded_ = true;
+        shardQueues_ = std::move(queues);
+        shardOfNode_ = std::move(shard_of);
+        channel_.reset(static_cast<unsigned>(shardQueues_.size()));
+        sendSeq_.assign(numNodes_, 0);
+        pumps_.resize(numNodes_);
+        tallies_.clear();
+        tallies_.reserve(shardQueues_.size());
+        for (std::size_t s = 0; s < shardQueues_.size(); ++s)
+            tallies_.emplace_back();
+    }
+
+    /** Coordinator: move staged cross-shard entries into their pumps. */
+    void
+    drainShardChannel()
+    {
+        channel_.drain([this](ShardEntry &&e) {
+            EventQueue &dq = *shardQueues_[shardOfNode_[e.dst]];
+            enqueuePump(std::move(e), dq);
+        });
+    }
+
+    /**
+     * Coordinator: fold per-shard message/traffic tallies into the
+     * registry-bound counters (kept exact at every window barrier so
+     * parallel-phase snapshots see current totals).
+     */
+    void
+    foldShardCounters()
+    {
+        for (ShardTally &t : tallies_) {
+            messages_ += t.messages;
+            bytesProxy_ += t.traffic;
+            t.messages = 0;
+            t.traffic = 0;
+        }
+    }
+
+    /** Coordinator: fold per-shard latency histograms (run end). */
+    void
+    foldShardHistograms()
+    {
+        for (ShardTally &t : tallies_) {
+            deliveryControl_.merge(t.hist[0]);
+            deliveryData_.merge(t.hist[1]);
+            deliveryPage_.merge(t.hist[2]);
+            for (Histogram &h : t.hist)
+                h = Histogram(latencyBounds());
+        }
+    }
+
+    /** True when no staged or pump-pending entries remain. */
+    bool
+    shardTrafficQuiescent() const
+    {
+        if (!channel_.empty())
+            return false;
+        for (const Pump &p : pumps_) {
+            if (!p.heap.empty())
+                return false;
+        }
+        return true;
+    }
+
   private:
+    void
+    sendSharded(NodeId src, NodeId dst, MsgSize size,
+                EventQueue::Callback deliver)
+    {
+        const Cycles occ = occupancy(size);
+        const std::uint32_t ss = shardOfNode_[src];
+        EventQueue &sq = *shardQueues_[ss];
+        ShardTally &ty = tallies_[ss];
+        ++ty.messages;
+        ty.traffic += occ;
+        sq.snapNote(SnapKind::NetMsg);
+        const Tick out_done = egress_[src].acquire(sq.now(), occ) + occ;
+        const Tick wire = (src == dst) ? 0 : params_.oneWayLatency;
+        ShardEntry e{sq.now(),
+                     out_done + wire,
+                     src,
+                     dst,
+                     static_cast<std::uint8_t>(size),
+                     sendSeq_[src]++,
+                     std::move(deliver)};
+        const std::uint32_t ds = shardOfNode_[dst];
+        if (ds == ss)
+            enqueuePump(std::move(e), sq);
+        else
+            channel_.lane(ss, ds).push_back(std::move(e));
+    }
+
+    /** Later-than order for the pump min-heap (std::push_heap). */
+    static bool
+    pumpAfter(const ShardEntry &a, const ShardEntry &b)
+    {
+        if (a.arrival != b.arrival)
+            return a.arrival > b.arrival;
+        if (a.src != b.src)
+            return a.src > b.src;
+        return a.srcSeq > b.srcSeq;
+    }
+
+    /**
+     * Queue @p e on its destination pump and schedule a pump event at
+     * its arrival tick.  Called from the destination's own shard for
+     * same-shard traffic, and from the coordinator (between windows)
+     * for cross-shard traffic — by then the arrival is at or beyond
+     * the next window start, so the booking order below is complete.
+     */
+    void
+    enqueuePump(ShardEntry &&e, EventQueue &dq)
+    {
+        const Tick arrival = e.arrival;
+        const NodeId dst = e.dst;
+        auto &h = pumps_[dst].heap;
+        h.push_back(std::move(e));
+        std::push_heap(h.begin(), h.end(), pumpAfter);
+        dq.schedule(arrival, [this, dst] { pumpNode(dst); });
+    }
+
+    /**
+     * Book every entry that has arrived at @p dst's NIC, in (arrival,
+     * source, sequence) order — deterministic for any shard count, and
+     * FIFO per (src, dst) because egress serialization makes arrivals
+     * strictly increasing per source.  Runs on @p dst's shard.
+     */
+    void
+    pumpNode(NodeId dst)
+    {
+        auto &h = pumps_[dst].heap;
+        EventQueue &dq = *shardQueues_[shardOfNode_[dst]];
+        const Tick now = dq.now();
+        while (!h.empty() && h.front().arrival <= now) {
+            std::pop_heap(h.begin(), h.end(), pumpAfter);
+            ShardEntry e = std::move(h.back());
+            h.pop_back();
+            const Cycles occ =
+                occupancy(static_cast<MsgSize>(e.sizeIdx));
+            const Tick at = ingress_[dst].acquire(e.arrival, occ) + occ;
+            tallies_[shardOfNode_[dst]].hist[e.sizeIdx].sample(
+                at - e.sendTick);
+            dq.schedule(at, std::move(e.deliver));
+        }
+    }
+
+    /** Per-shard counter/histogram staging (folded at barriers). */
+    struct ShardTally {
+        std::uint64_t messages = 0;
+        std::uint64_t traffic = 0;
+        std::vector<Histogram> hist{Histogram(latencyBounds()),
+                                    Histogram(latencyBounds()),
+                                    Histogram(latencyBounds())};
+    };
+
+    /** Arrival-ordered pending entries for one destination NIC. */
+    struct Pump {
+        std::vector<ShardEntry> heap;
+    };
+
     Cycles
     occupancy(MsgSize size) const
     {
@@ -156,6 +364,16 @@ class Network
     std::uint32_t numNodes_;
     /** Last delivery tick per (src, dst); empty when jitter is off. */
     std::vector<Tick> lastDeliver_;
+
+    // Sharded-mode state (unused, empty, in sequential mode).
+    bool sharded_ = false;
+    std::vector<EventQueue *> shardQueues_;
+    std::vector<std::uint32_t> shardOfNode_;
+    ShardChannel<ShardEntry> channel_;
+    std::vector<std::uint64_t> sendSeq_;
+    std::vector<Pump> pumps_;
+    std::vector<ShardTally> tallies_;
+
     ScopedCounter messages_;
     ScopedCounter bytesProxy_;
     ScopedHistogram deliveryControl_{latencyBounds()};

@@ -93,6 +93,10 @@ class ScopedHistogram
     ScopedHistogram &operator=(ScopedHistogram &&) = delete;
 
     void sample(std::uint64_t v) { h_.sample(v); }
+
+    /** Accumulate a staged tally with identical bounds (shard fold). */
+    void merge(const Histogram &other) { h_.merge(other); }
+
     const Histogram &histogram() const { return h_; }
 
   private:

@@ -92,6 +92,7 @@ CoTask
 Kernel::handleFault(VPage vp, FrameNum *out_frame)
 {
     ++stats_.faults;
+    eq_.snapNote(SnapKind::Fault);
     GPage gp = kInvalidGPage;
     const bool global = globalPageOf(vp, &gp);
 
@@ -311,6 +312,7 @@ Kernel::pageOutClient(GPage gp, bool convert_to_lanuma)
         ++stats_.conversionsToLaNuma;
     }
     ++stats_.clientPageOuts;
+    eq_.snapNote(SnapKind::ClientPageOut);
     co_await delay(cfg_.pageOutKernelCycles);
     latency_.pageOut.sample(eq_.now() - t0);
     if (trace_) {

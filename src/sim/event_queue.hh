@@ -31,9 +31,13 @@
 
 #include "sim/callback.hh"
 #include "sim/logging.hh"
+#include "sim/snap_log.hh"
 #include "sim/types.hh"
 
 namespace prism {
+
+/** Sentinel shard id: "not bound to any shard" (debug affinity). */
+inline constexpr std::uint32_t kAnyShard = 0xffffffffu;
 
 /** A time-ordered queue of callbacks driving the simulation. */
 class EventQueue
@@ -59,6 +63,13 @@ class EventQueue
     /** Number of events still pending. */
     std::size_t pending() const { return heap_.size(); }
 
+    /** Tick of the earliest pending event; kTickMax when empty. */
+    Tick
+    nextEventTick() const
+    {
+        return heap_.empty() ? kTickMax : heap_.front().when;
+    }
+
     /**
      * Schedule @p cb to run at absolute time @p when (>= now).
      * Callables are constructed directly in their arena slot (no
@@ -68,24 +79,22 @@ class EventQueue
     void
     schedule(Tick when, F &&cb)
     {
-        prism_assert(when >= now_,
-                     "event scheduled in the past (%llu < %llu)",
-                     static_cast<unsigned long long>(when),
-                     static_cast<unsigned long long>(now_));
-        std::uint32_t slot;
-        if (freeSlots_.empty()) {
-            slot = static_cast<std::uint32_t>(slots_.size());
-            slots_.emplace_back();
-        } else {
-            slot = freeSlots_.back();
-            freeSlots_.pop_back();
-        }
-        if constexpr (std::is_same_v<std::decay_t<F>, Callback>)
-            slots_[slot] = std::move(cb);
-        else
-            slots_[slot].emplace(std::forward<F>(cb));
-        heap_.push_back(Event{when, nextSeq_++, slot});
-        siftUp(heap_.size() - 1);
+        scheduleSeq(when, nextSeq_++, std::forward<F>(cb));
+    }
+
+    /**
+     * Schedule @p cb at @p when, ordered *before* every event already
+     * scheduled for that tick.  Used by the sharded coordinator to
+     * splice a deferred continuation (e.g. the code following a
+     * parallel-phase mark) back in where the sequential scheduler
+     * would have run it synchronously — ahead of same-tick events
+     * that were enqueued earlier.
+     */
+    template <typename F>
+    void
+    scheduleFront(Tick when, F &&cb)
+    {
+        scheduleSeq(when, frontSeq_--, std::forward<F>(cb));
     }
 
     /** Schedule @p cb to run @p delta cycles from now. */
@@ -131,7 +140,10 @@ class EventQueue
 
     /**
      * Run until the queue drains or @p until is reached, whichever is
-     * first.  Events at exactly @p until still execute.
+     * first.  Events at exactly @p until still execute.  The clock
+     * always advances to @p until on return (remaining events, if any,
+     * are strictly later), so back-to-back runUntil calls measure
+     * consistent intervals whether or not the queue drained.
      */
     void
     runUntil(Tick until)
@@ -139,7 +151,7 @@ class EventQueue
         while (!heap_.empty() && heap_.front().when <= until) {
             runOne();
         }
-        if (now_ < until && heap_.empty())
+        if (now_ < until)
             now_ = until;
     }
 
@@ -160,18 +172,90 @@ class EventQueue
         return true;
     }
 
+    // --- Sharded-scheduler hooks (no-ops in sequential mode) ----------
+
+    /**
+     * Attach the owning shard's snapshot log; increment sites call
+     * snapNote() and pay one never-taken branch when unattached.
+     */
+    void setSnapshotLog(SnapshotLog *log) { snapLog_ = log; }
+
+    /** Record a snapshot-counter increment at the current tick. */
+    void
+    snapNote(SnapKind k)
+    {
+        if (snapLog_)
+            snapLog_->record(now_, k);
+    }
+
+#ifndef NDEBUG
+    /** Debug: bind this queue to a shard for affinity checking. */
+    void setOwnerShard(std::uint32_t s) { ownerShard_ = s; }
+
+    /**
+     * Debug: the shard the calling thread is executing (kAnyShard for
+     * the coordinator / sequential mode).  Set by the window loop.
+     */
+    static std::uint32_t &
+    threadShard()
+    {
+        thread_local std::uint32_t s = kAnyShard;
+        return s;
+    }
+#endif
+
   private:
     /** Initial heap capacity; avoids regrowth for typical runs. */
     static constexpr std::size_t kInitialCapacity = 1024;
 
-    /** Heap node: ordering key plus the arena slot of its callback. */
+    /**
+     * Heap node: ordering key plus the arena slot of its callback.
+     * The sequence is signed so scheduleFront can order ahead of all
+     * normally scheduled events at the same tick (negative, counting
+     * down); schedule() uses the non-negative, counting-up range.
+     */
     struct Event {
         Tick when;
-        std::uint64_t seq;
+        std::int64_t seq;
         std::uint32_t slot;
     };
     static_assert(std::is_trivially_copyable_v<Event>,
                   "heap sifting relies on cheap Event copies");
+
+    template <typename F>
+    void
+    scheduleSeq(Tick when, std::int64_t seq, F &&cb)
+    {
+        prism_assert(when >= now_,
+                     "event scheduled in the past (%llu < %llu)",
+                     static_cast<unsigned long long>(when),
+                     static_cast<unsigned long long>(now_));
+#ifndef NDEBUG
+        // Shard affinity: only the owning shard's thread (or the
+        // coordinator, which runs with no thread shard set) may
+        // schedule into a shard-bound queue.
+        prism_assert(ownerShard_ == kAnyShard ||
+                         threadShard() == kAnyShard ||
+                         threadShard() == ownerShard_,
+                     "cross-shard schedule: queue owned by shard %u, "
+                     "caller runs shard %u",
+                     ownerShard_, threadShard());
+#endif
+        std::uint32_t slot;
+        if (freeSlots_.empty()) {
+            slot = static_cast<std::uint32_t>(slots_.size());
+            slots_.emplace_back();
+        } else {
+            slot = freeSlots_.back();
+            freeSlots_.pop_back();
+        }
+        if constexpr (std::is_same_v<std::decay_t<F>, Callback>)
+            slots_[slot] = std::move(cb);
+        else
+            slots_[slot].emplace(std::forward<F>(cb));
+        heap_.push_back(Event{when, seq, slot});
+        siftUp(heap_.size() - 1);
+    }
 
     /** Min-heap order: earlier tick first, scheduling order on ties. */
     static bool
@@ -229,8 +313,13 @@ class EventQueue
     std::vector<Callback> slots_;
     std::vector<std::uint32_t> freeSlots_;
     Tick now_ = 0;
-    std::uint64_t nextSeq_ = 0;
+    std::int64_t nextSeq_ = 0;
+    std::int64_t frontSeq_ = -1;
     std::uint64_t executed_ = 0;
+    SnapshotLog *snapLog_ = nullptr;
+#ifndef NDEBUG
+    std::uint32_t ownerShard_ = kAnyShard;
+#endif
 };
 
 /**

@@ -37,6 +37,16 @@ class BarnesWorkload : public Workload
     void setup(Machine &m) override;
     CoTask body(Proc &p, std::uint32_t tid, std::uint32_t nt) override;
 
+    /**
+     * The tree build is an optimistic lock-free descent: a processor
+     * reads tree_[idx] and newCell() appends to the shared tree_
+     * vector while other processors hold locks on *different* cells.
+     * Cell indices feed simulated addresses, so host-thread timing
+     * would leak into simulated behaviour; the runner must keep Barnes
+     * on the sequential scheduler.
+     */
+    bool shardSafe() const override { return false; }
+
   private:
     struct Vec {
         double x = 0, y = 0, z = 0;

@@ -1,6 +1,7 @@
 #include "workload/experiment.hh"
 
 #include "core/machine.hh"
+#include "sim/logging.hh"
 #include "workload/workload.hh"
 
 namespace prism {
@@ -8,8 +9,16 @@ namespace prism {
 RunMetrics
 runOnce(const MachineConfig &cfg, const AppSpec &app, RunReport *report)
 {
-    Machine m(cfg);
     auto w = app.make();
+    MachineConfig c = cfg;
+    if (c.jobsIntra > 1 && !w->shardSafe()) {
+        inform("jobsIntra=%u ignored: %s shares host state across "
+               "processors without shard-safe discipline "
+               "(Workload::shardSafe)",
+               c.jobsIntra, w->name());
+        c.jobsIntra = 1;
+    }
+    Machine m(c);
     RunMetrics r = runWorkload(m, *w);
     if (report)
         *report = m.report();

@@ -36,6 +36,15 @@ class Mp3dWorkload : public Workload
     void setup(Machine &m) override;
     CoTask body(Proc &p, std::uint32_t tid, std::uint32_t nt) override;
 
+    /**
+     * Faithful to SPLASH MP3D, the move phase is intentionally
+     * unsynchronized: lastInCell_ is a cross-tid read-modify-write and
+     * collisions swap another tid's velocity, all mid-phase.  The
+     * partner choice feeds simulated addresses, so the runner must
+     * keep MP3D on the sequential scheduler.
+     */
+    bool shardSafe() const override { return false; }
+
   private:
     struct P3 {
         double x, y, z;

@@ -130,6 +130,25 @@ class Workload
     /** The per-processor program. */
     virtual CoTask body(Proc &p, std::uint32_t tid,
                         std::uint32_t nthreads) = 0;
+
+    /**
+     * Whether this workload tolerates the sharded scheduler
+     * (jobsIntra > 1), where processors on different shards execute on
+     * different host threads within a simulated-time window.
+     *
+     * The contract (see docs/PERFORMANCE.md "Sharded scheduler"): all
+     * *host-side* state shared across tids must be either (a) written
+     * only in tid-disjoint slices with every cross-tid read separated
+     * from the writes by a simulated barrier, or (b) read and written
+     * only under one simulated lock dedicated to that state.  Both
+     * patterns cross a coordinator round, which supplies a real
+     * happens-before edge and a deterministic order.  Workloads whose
+     * control flow reads shared host state that other tids mutate
+     * concurrently (optimistic lock-free traversals, intentionally
+     * unsynchronized SPLASH-style races) must return false; the runner
+     * then falls back to the sequential scheduler for them.
+     */
+    virtual bool shardSafe() const { return true; }
 };
 
 /**
