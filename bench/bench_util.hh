@@ -11,12 +11,16 @@
  *   PRISM_JOBS_INTRA = event-loop shards *inside* each simulation
  *                 (default: 1 = sequential scheduler; `--jobs-intra N`
  *                 wins; see docs/PERFORMANCE.md "Sharded scheduler")
+ *   PRISM_PROTOCOL = msi | mesi | moesi | mesif  (default: mesi;
+ *                 `--protocol <scheme>` wins; see docs/PROTOCOL.md)
  *
  * Common CLI (BenchOptions::parse):
  *   --report <path>   write a schema-versioned JSON report
  *   --jobs <n>        worker threads (overrides PRISM_JOBS)
  *   --jobs-intra <n>  event-loop shards per simulation
  *                     (overrides PRISM_JOBS_INTRA)
+ *   --protocol <p>    intra-node line protocol (overrides
+ *                     PRISM_PROTOCOL)
  *   --list            print the application inventory and exit
  *                     (benches that support it)
  * Bench-specific flags (e.g. --ccnuma) pass through via extra().
@@ -136,6 +140,7 @@ struct BenchOptions {
     AppScale scale = AppScale::Paper;
     unsigned jobs = 1;
     unsigned jobsIntra = 1; //!< event-loop shards per simulation
+    ProtocolScheme protocol = ProtocolScheme::Mesi;
     std::vector<AppSpec> apps;
     std::string reportPath; //!< empty when --report was not given
     bool list = false;
@@ -153,6 +158,8 @@ struct BenchOptions {
                 fatal("PRISM_JOBS_INTRA must be >= 1 (got '%s')", ji);
             o.jobsIntra = static_cast<unsigned>(v);
         }
+        if (const char *pr = std::getenv("PRISM_PROTOCOL"))
+            o.protocol = parseProtocol(pr);
         for (int i = 1; i < argc; ++i) {
             if (!std::strcmp(argv[i], "--report") && i + 1 < argc) {
                 o.reportPath = argv[++i];
@@ -172,6 +179,13 @@ struct BenchOptions {
                 o.jobsIntra = parseJobsIntra(argv[i] + 13);
             } else if (!std::strcmp(argv[i], "--jobs-intra")) {
                 fatal("--jobs-intra requires a count argument");
+            } else if (!std::strcmp(argv[i], "--protocol") &&
+                       i + 1 < argc) {
+                o.protocol = parseProtocol(argv[++i]);
+            } else if (!std::strncmp(argv[i], "--protocol=", 11)) {
+                o.protocol = parseProtocol(argv[i] + 11);
+            } else if (!std::strcmp(argv[i], "--protocol")) {
+                fatal("--protocol requires a scheme argument");
             } else if (!std::strcmp(argv[i], "--list")) {
                 o.list = true;
             } else {
@@ -202,6 +216,16 @@ struct BenchOptions {
         if (v < 1)
             fatal("--jobs-intra must be >= 1 (got '%s')", s);
         return static_cast<unsigned>(v);
+    }
+
+    static ProtocolScheme
+    parseProtocol(const char *s)
+    {
+        ProtocolScheme p;
+        if (!protocolFromString(s, &p))
+            fatal("unknown protocol '%s' (valid: msi mesi moesi mesif)",
+                  s);
+        return p;
     }
 
     std::vector<std::string> extra_;

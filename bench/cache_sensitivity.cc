@@ -60,6 +60,7 @@ main(int argc, char **argv)
             for (std::size_t j = 0; j < 2; ++j) {
                 MachineConfig scoma;
                 scoma.jobsIntra = opts.jobsIntra;
+                scoma.protocol = opts.protocol;
                 scoma.l1Bytes = shapes[j].l1;
                 scoma.l2Bytes = shapes[j].l2;
                 scoma.policy = PolicyKind::Scoma;

@@ -48,6 +48,7 @@ main(int argc, char **argv)
 
     MachineConfig base; // paper machine
     base.jobsIntra = opts.jobsIntra;
+    base.protocol = opts.protocol;
     const auto &apps = opts.apps;
     const auto results = runSweepsParallel(base, apps, policies, jobs);
     for (std::size_t a = 0; a < apps.size(); ++a) {

@@ -55,10 +55,12 @@ phased(Proc &p, std::uint32_t nt)
 }
 
 RunMetrics
-runConfig(bool migration, unsigned jobs_intra, RunReport *report)
+runConfig(bool migration, unsigned jobs_intra, ProtocolScheme protocol,
+          RunReport *report)
 {
     MachineConfig cfg;
     cfg.jobsIntra = jobs_intra;
+    cfg.protocol = protocol;
     cfg.migrationEnabled = migration;
     cfg.migrationThreshold = 48;
     Machine m(cfg);
@@ -86,8 +88,10 @@ main(int argc, char **argv)
                 "nodes)\n\n", kPages, kPhases);
 
     RunReport off_report, on_report;
-    RunMetrics off = runConfig(false, opts.jobsIntra, &off_report);
-    RunMetrics on = runConfig(true, opts.jobsIntra, &on_report);
+    RunMetrics off =
+        runConfig(false, opts.jobsIntra, opts.protocol, &off_report);
+    RunMetrics on =
+        runConfig(true, opts.jobsIntra, opts.protocol, &on_report);
 
     std::printf("%-28s %14s %14s\n", "metric", "migration OFF",
                 "migration ON");

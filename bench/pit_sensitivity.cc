@@ -53,6 +53,7 @@ main(int argc, char **argv)
         for (std::size_t i = 0; i < apps.size(); ++i) {
             MachineConfig sram;
             sram.jobsIntra = opts.jobsIntra;
+            sram.protocol = opts.protocol;
             sram.policy = PolicyKind::LaNuma;
             sram.pitLatency = 2;
             MachineConfig dram = sram;

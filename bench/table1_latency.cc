@@ -179,6 +179,7 @@ main(int argc, char **argv)
     // sequential scheduler, so --jobs-intra is deliberately not wired
     // through here.
     MachineConfig cfg;
+    cfg.protocol = opts.protocol;
     Machine m(cfg);
     g_machine = &m;
     std::uint64_t gsid = m.shmget(kKey, 256 * kPageBytes);

@@ -24,6 +24,7 @@ main(int argc, char **argv)
 
     MachineConfig base;
     base.jobsIntra = opts.jobsIntra;
+    base.protocol = opts.protocol;
     std::vector<RunReport> reports;
     std::vector<BenchRun> runs;
     reports.reserve(opts.apps.size() * 2);

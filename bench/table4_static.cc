@@ -27,6 +27,7 @@ main(int argc, char **argv)
 
     MachineConfig base;
     base.jobsIntra = opts.jobsIntra;
+    base.protocol = opts.protocol;
     const std::vector<PolicyKind> policies = {
         PolicyKind::Scoma, PolicyKind::LaNuma, PolicyKind::Scoma70};
     const auto &apps = opts.apps;

@@ -26,6 +26,7 @@ main(int argc, char **argv)
 
     MachineConfig base;
     base.jobsIntra = opts.jobsIntra;
+    base.protocol = opts.protocol;
     const std::vector<PolicyKind> policies = {
         PolicyKind::DynFcfs, PolicyKind::DynUtil, PolicyKind::DynLru};
     const auto &apps = opts.apps;

@@ -7,8 +7,8 @@
  * the minimal failing op budget and prints a deterministic replay id.
  *
  *   protocol_fuzz [--seed N] [--ops N] [--rounds N] [--policy NAME]
- *                 [--jitter N] [--mutate-skip-invals N]
- *                 [--replay SEED:LEN]
+ *                 [--protocol NAME] [--jitter N]
+ *                 [--mutate-skip-invals N] [--replay SEED:LEN]
  *
  * `--replay 42:17` reruns exactly the case a failing fuzz round
  * printed (seed 42, op budget 17) and dumps its violations.
@@ -30,9 +30,9 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--seed N] [--ops N] [--rounds N] "
-                 "[--policy NAME] [--jitter N]\n"
-                 "          [--mutate-skip-invals N] [--replay "
-                 "SEED:LEN]\n",
+                 "[--policy NAME] [--protocol NAME]\n"
+                 "          [--jitter N] [--mutate-skip-invals N] "
+                 "[--replay SEED:LEN]\n",
                  argv0);
     return 2;
 }
@@ -94,6 +94,14 @@ main(int argc, char **argv)
             rounds = std::strtoul(v, nullptr, 10);
         } else if (const char *v = want("--policy")) {
             opt.policy = policyFromName(v);
+        } else if (const char *v = want("--protocol")) {
+            if (!protocolFromString(v, &opt.protocol)) {
+                std::fprintf(stderr,
+                             "unknown protocol '%s' (valid: msi mesi "
+                             "moesi mesif)\n",
+                             v);
+                return 2;
+            }
         } else if (const char *v = want("--jitter")) {
             opt.jitterMax = std::strtoul(v, nullptr, 10);
         } else if (const char *v = want("--mutate-skip-invals")) {

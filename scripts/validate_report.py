@@ -12,7 +12,7 @@ Exits non-zero with a message on the first violation.
 import json
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 RUN_REPORT_KEYS = [
     "schema", "schemaVersion", "generatedAt", "config", "phases",
@@ -20,9 +20,11 @@ RUN_REPORT_KEYS = [
 ]
 
 CONFIG_KEYS = [
-    "numNodes", "procsPerNode", "policy", "seed", "l1Bytes",
-    "l2Bytes", "lineBytes", "migrationEnabled",
+    "numNodes", "procsPerNode", "policy", "protocol", "seed",
+    "l1Bytes", "l2Bytes", "lineBytes", "migrationEnabled",
 ]
+
+PROTOCOLS = ("msi", "mesi", "moesi", "mesif")
 
 METRICS_KEYS = [
     "execCycles", "totalCycles", "remoteMisses", "clientPageOuts",
@@ -57,6 +59,9 @@ def check_run_report(r, where):
             f"{SCHEMA_VERSION}")
     for k in CONFIG_KEYS:
         require(k in r["config"], f"{where}: config missing '{k}'")
+    require(r["config"]["protocol"] in PROTOCOLS,
+            f"{where}: unknown protocol "
+            f"{r['config']['protocol']!r}")
     for k in METRICS_KEYS:
         require(k in r["metrics"], f"{where}: metrics missing '{k}'")
 

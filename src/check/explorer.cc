@@ -56,6 +56,7 @@ runFuzzCase(const FuzzOptions &opt, std::uint32_t ops)
     cfg.numNodes = opt.numNodes;
     cfg.procsPerNode = opt.procsPerNode;
     cfg.policy = opt.policy;
+    cfg.protocol = opt.protocol;
     cfg.clientFrameCap = opt.clientFrameCap;
     cfg.seed = opt.seed;
     cfg.oracleMode = OracleMode::Continuous;

@@ -271,13 +271,14 @@ ProtocolOracle::checkLine(GPage gp, std::uint32_t li)
             Proc &pr = node.proc(p);
             const Mesi s1 = pr.l1().lookup(paddr);
             const Mesi s2 = pr.l2().lookup(paddr);
-            const Mesi merged = s1 > s2 ? s1 : s2;
-            if (merged > strongest)
-                strongest = merged;
+            strongest = strongerLine(strongest, strongerLine(s1, s2));
         }
-        const bool owner_class = tag == FgTag::Exclusive ||
-                                 strongest == Mesi::Exclusive ||
-                                 strongest == Mesi::Modified;
+        // Owned counts: the MOESI owner keeps node-level ownership
+        // while peer/remote Shared copies read from it.  Forward does
+        // not — it is a clean designated-supplier copy, valid but not
+        // owning.
+        const bool owner_class =
+            tag == FgTag::Exclusive || ownerClass(strongest);
         // Transit tags are in-flight transactions: their eventual
         // grants are poisoned or refreshed by the protocol, so they
         // are neither owner-class nor a valid copy here.
@@ -364,15 +365,14 @@ ProtocolOracle::sweepQuiescent()
             }
             for (auto [addr, s2] : proc.l2().snapshot()) {
                 const Mesi s1 = proc.l1().lookup(addr);
-                const Mesi merged = s1 > s2 ? s1 : s2;
+                const Mesi merged = strongerLine(s1, s2);
                 auto it = frame2page.find(addr >> kPageShift);
                 if (it == frame2page.end())
                     continue; // private line
                 const GLine gl =
                     geo_.lineOf(it->second, geo_.lineIndex(addr));
                 Mesi &cur = views[n].cached[gl];
-                if (merged > cur)
-                    cur = merged;
+                cur = strongerLine(cur, merged);
             }
         }
     }
@@ -427,8 +427,7 @@ ProtocolOracle::sweepQuiescent()
                         report(gp, li,
                                fmt("Shared tag at non-sharer node %u",
                                    n));
-                    if (cached == Mesi::Modified ||
-                        cached == Mesi::Exclusive)
+                    if (ownerClass(cached))
                         report(gp, li,
                                fmt("%s proc copy at node %u under "
                                    "Shared dir state",
@@ -457,13 +456,13 @@ ProtocolOracle::sweepQuiescent()
                                    "Uncached dir state", n));
                     break;
                 }
-                // I5: an M/E processor copy implies node ownership.
-                if ((cached == Mesi::Modified ||
-                     cached == Mesi::Exclusive) &&
+                // I5: an owner-class (M/E/O) processor copy implies
+                // node ownership.
+                if (ownerClass(cached) &&
                     !(d.state == DirState::Owned && d.owner == n)) {
                     report(gp, li,
-                           fmt("M/E proc copy at node %u without node "
-                               "ownership", n));
+                           fmt("%s proc copy at node %u without node "
+                               "ownership", mesiName(cached), n));
                 }
             }
             if (!sh)

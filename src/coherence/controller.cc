@@ -330,7 +330,7 @@ CoherenceController::finishFill(FrameNum frame, std::uint32_t line_idx,
         TRC(e->gpage, line_idx, "n%u finishFill want=%s tag=%s t=%llu",
             self_, mesiName(intended), fgTagName(tag),
             (unsigned long long)eq_.now());
-        if (intended == Mesi::Modified || intended == Mesi::Exclusive)
+        if (ownerClass(intended))
             return tag == FgTag::Exclusive;
         return tag != FgTag::Invalid;
       }
@@ -360,14 +360,14 @@ CoherenceController::evictLine(FrameNum frame, std::uint32_t line_idx,
       case PageMode::Local:
       case PageMode::Scoma:
       case PageMode::Command:
-        if (victim_state == Mesi::Modified)
+        if (dirtyLine(victim_state))
             dram_.access(eq_.now()); // write back into local memory
         return;
       case PageMode::LaNuma:
       case PageMode::CcNuma:
         TRC(e->gpage, line_idx, "n%u evict %s t=%llu", self_,
             mesiName(victim_state), (unsigned long long)eq_.now());
-        if (victim_state == Mesi::Modified) {
+        if (dirtyLine(victim_state)) {
             Msg wb;
             wb.type = MsgType::Writeback;
             wb.dst = e->dynHome;
@@ -375,6 +375,10 @@ CoherenceController::evictLine(FrameNum frame, std::uint32_t line_idx,
             wb.lineIdx = line_idx;
             wb.dstFrameHint = e->homeFrameHint;
             wb.dirty = true;
+            // An evicted Owned line may leave peer Shared copies
+            // behind on this node's bus: the node stays a sharer.
+            wb.keepShared = victim_state == Mesi::Owned &&
+                            host_.lineCached(frame, line_idx);
             wb.requester = self_;
             ++stats_.writebacksSent;
             send(std::move(wb));

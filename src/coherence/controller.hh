@@ -104,6 +104,15 @@ class ControllerHost
     /** True if any local processor cache holds a line of @p frame. */
     virtual bool anyCachedCopy(FrameNum frame) const = 0;
 
+    /**
+     * True if any local processor cache holds this specific line
+     * (any valid state).  Decides whether an Owned-line eviction's
+     * writeback keeps the node registered as a sharer (MOESI: peer
+     * Shared copies can outlive the Owned copy).
+     */
+    virtual bool lineCached(FrameNum frame,
+                            std::uint32_t line_idx) const = 0;
+
     /** Allocate a real frame to receive a migrating home page. */
     virtual FrameNum migrationAllocFrame(GPage gp) = 0;
 

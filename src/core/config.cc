@@ -20,6 +20,34 @@ policyName(PolicyKind k)
 }
 
 const char *
+protocolName(ProtocolScheme p)
+{
+    switch (p) {
+      case ProtocolScheme::Msi: return "msi";
+      case ProtocolScheme::Mesi: return "mesi";
+      case ProtocolScheme::Moesi: return "moesi";
+      case ProtocolScheme::Mesif: return "mesif";
+    }
+    return "?";
+}
+
+bool
+protocolFromString(const char *s, ProtocolScheme *out)
+{
+    if (!s || !out)
+        return false;
+    for (ProtocolScheme p :
+         {ProtocolScheme::Msi, ProtocolScheme::Mesi, ProtocolScheme::Moesi,
+          ProtocolScheme::Mesif}) {
+        if (!std::strcmp(s, protocolName(p))) {
+            *out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+const char *
 oracleModeName(OracleMode m)
 {
     switch (m) {

@@ -37,6 +37,39 @@ enum class PolicyKind : std::uint8_t {
 const char *policyName(PolicyKind k);
 
 /**
+ * Intra-node line-protocol scheme spoken on each node's bus
+ * (src/coherence/line_protocol).  Mesi is the paper's protocol and
+ * the default; the others are drop-in variants validated by the same
+ * oracle/litmus/fuzzer stack:
+ *
+ * Msi    no clean-exclusive state: read fills are always Shared, so a
+ *        first write always pays an upgrade; exclusive LA-NUMA read
+ *        grants are immediately relinquished back to the home.
+ * Mesi   the classic four-state protocol (bit-identical to the
+ *        pre-table simulator by contract).
+ * Moesi  a read snoop on a Modified line leaves the dirty data in
+ *        place as Owned instead of writing it back; stores to Owned
+ *        upgrade on the local bus alone.
+ * Mesif  only the Forward copy (newest sharer) supplies shared lines
+ *        cache-to-cache; plain Shared copies stay silent.
+ */
+enum class ProtocolScheme : std::uint8_t {
+    Msi,
+    Mesi,
+    Moesi,
+    Mesif,
+};
+
+/** Lower-case scheme name (msi|mesi|moesi|mesif). */
+const char *protocolName(ProtocolScheme p);
+
+/**
+ * Parse a protocol-scheme name.
+ * @retval false @p s names no scheme (out is untouched).
+ */
+bool protocolFromString(const char *s, ProtocolScheme *out);
+
+/**
  * Protocol-oracle checking level (src/check).
  *
  * Off        no checking; benches pay a single never-taken branch.
@@ -109,6 +142,14 @@ struct MachineConfig {
     Cycles pageOutKernelCycles = 1500; //!< kernel page-out handling
     Cycles tlbShootdownCycles = 40;    //!< per-processor local shootdown
     Cycles diskLatency = 200000;       //!< backing-store transfer
+
+    // --- Intra-node line protocol ----------------------------------------
+    /**
+     * Line-protocol scheme for the processor caches and node bus; the
+     * PRISM_PROTOCOL environment variable (msi|mesi|moesi|mesif)
+     * overrides this at Machine construction.
+     */
+    ProtocolScheme protocol = ProtocolScheme::Mesi;
 
     // --- Memory management ----------------------------------------------
     PolicyKind policy = PolicyKind::Scoma;

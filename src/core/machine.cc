@@ -21,6 +21,14 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
         }
         cfg_.oracleMode = om;
     }
+    if (const char *env = std::getenv("PRISM_PROTOCOL")) {
+        ProtocolScheme ps;
+        if (!protocolFromString(env, &ps)) {
+            fatal("unknown PRISM_PROTOCOL '%s' (valid: msi mesi moesi "
+                  "mesif)", env);
+        }
+        cfg_.protocol = ps;
+    }
 
     // Event-loop shard count (sim/shard.hh).  Features that observe or
     // perturb the global event interleaving — the protocol oracle's

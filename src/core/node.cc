@@ -9,6 +9,7 @@ Node::Node(NodeId id, const MachineConfig &cfg, EventQueue &eq,
            std::function<NodeId(GPage)> static_home_of,
            std::function<void(Msg &&)> send)
     : id_(id), cfg_(cfg), eq_(eq), geo_(cfg.lineBytes),
+      proto_(LineProtocol::get(cfg.protocol)),
       bus_(cfg.busAddrCycles, cfg.busDataCycles),
       dram_(cfg.memAccessCycles)
 {
@@ -51,7 +52,7 @@ Node::receive(Msg m)
 
 CoTask
 Node::memAccess(Proc &requester, FrameNum frame, std::uint32_t line_idx,
-                bool write, bool requester_had_shared)
+                bool write, Mesi requester_state)
 {
     const std::uint64_t line_paddr =
         (frame << kPageShift) |
@@ -80,20 +81,27 @@ Node::memAccess(Proc &requester, FrameNum frame, std::uint32_t line_idx,
         co_await until(bus_.addressPhase(eq_.now()));
 
         // Snoop peer caches.
-        Proc *peer_owner = nullptr; // peer holding M or E
+        Proc *peer_owner = nullptr; // peer holding an owner-class state
         bool peer_dirty = false;
-        bool peer_shared = false;
+        bool peer_shared = false;     // any valid non-owner peer copy
+        bool peer_can_supply = false; // ... that supplies snoop reads
         for (auto &pp : procs_) {
             if (pp.get() == &requester)
                 continue;
             Mesi s = pp->snoopLine(line_paddr, false, false);
-            if (s == Mesi::Modified || s == Mesi::Exclusive) {
+            if (ownerClass(s)) {
                 peer_owner = pp.get();
-                peer_dirty = (s == Mesi::Modified);
+                peer_dirty = dirtyLine(s);
                 break;
             }
-            if (s == Mesi::Shared)
+            if (s != Mesi::Invalid) {
                 peer_shared = true;
+                // MESIF: plain Shared copies stay silent; only the
+                // Forward designee supplies cache-to-cache.
+                if (proto_.on(s, LineEvent::SnoopRead).actions &
+                    kActSupplyData)
+                    peer_can_supply = true;
+            }
         }
 
         // NOTE on ordering: every fill below charges the bus data
@@ -102,22 +110,46 @@ Node::memAccess(Proc &requester, FrameNum frame, std::uint32_t line_idx,
         // no suspension in between, so a racing invalidation or
         // intervention can never slip between validation and fill.
         if (write) {
+            // MOESI: Owned arises only from an intra-node snoop read
+            // of Modified, so every sharer of an Owned line is on
+            // this bus — a store to Owned upgrades with the local
+            // address tenure alone, no directory round trip.  The
+            // state is re-checked here (atomically with the upgrade:
+            // no suspension below) in case a remote intervention
+            // downgraded it while we waited for the bus.
+            if (requester_state == Mesi::Owned &&
+                requester.lineState(line_paddr) == Mesi::Owned) {
+                for (auto &pp : procs_) {
+                    if (pp.get() != &requester)
+                        pp->snoopLine(line_paddr, true, false);
+                }
+                requester.fillLine(line_paddr, Mesi::Modified);
+                co_return;
+            }
             if (peer_owner) {
                 // Cache-to-cache transfer with invalidation; the node
                 // already has exclusivity at the inter-node level.
                 co_await delay(cfg_.cacheToCache);
                 co_await until(bus_.dataPhase(eq_.now()));
                 Mesi cur = peer_owner->snoopLine(line_paddr, true, false);
-                if (cur != Mesi::Modified && cur != Mesi::Exclusive) {
+                if (!ownerClass(cur)) {
                     // The copy vanished or was downgraded by a racing
                     // remote intervention: node exclusivity is gone.
                     co_await delay(cfg_.retryDelay);
                     continue;
                 }
+                // An Owned peer coexists with Shared copies: sweep
+                // the remaining peers too (no-op under MESI, where an
+                // owner excludes every other copy).
+                for (auto &pp : procs_) {
+                    if (pp.get() != &requester && pp.get() != peer_owner)
+                        pp->snoopLine(line_paddr, true, false);
+                }
                 requester.fillLine(line_paddr, Mesi::Modified);
                 co_return;
             }
-            const bool local_copy = requester_had_shared || peer_shared;
+            const bool local_copy =
+                requester_state != Mesi::Invalid || peer_shared;
             MissResult res;
             co_await ctrl_->serviceMiss(frame, line_idx, true, local_copy,
                                         &res);
@@ -145,27 +177,46 @@ Node::memAccess(Proc &requester, FrameNum frame, std::uint32_t line_idx,
         if (peer_owner) {
             co_await delay(cfg_.cacheToCache);
             co_await until(bus_.dataPhase(eq_.now()));
-            Mesi cur = peer_owner->snoopLine(line_paddr, false, true);
+            Mesi cur =
+                peer_owner->snoopLine(line_paddr, false, true, true);
             if (cur == Mesi::Invalid) {
                 co_await delay(cfg_.retryDelay);
                 continue;
             }
-            // Relinquish node ownership / reflect dirty data.
-            ctrl_->reflectDowngrade(frame, line_idx,
-                                    cur == Mesi::Modified || peer_dirty);
-            requester.fillLine(line_paddr, Mesi::Shared);
+            if (ownerClass(cur)) {
+                // Relinquish node ownership / reflect dirty data as
+                // the supplier's transition demands.  MOESI's M->O
+                // retains both the dirty data and node ownership, so
+                // nothing reaches the controller.
+                const Transition &t =
+                    proto_.on(cur, LineEvent::SnoopRead);
+                if (t.actions & kActRelinquish)
+                    ctrl_->reflectDowngrade(
+                        frame, line_idx,
+                        (t.actions & kActWritebackData) || peer_dirty);
+            } else {
+                // A racing remote intervention already downgraded the
+                // copy; reflect any dirty data it held at snoop time.
+                ctrl_->reflectDowngrade(frame, line_idx, peer_dirty);
+            }
+            requester.fillLine(line_paddr, proto_.peerReadFill());
             co_return;
         }
-        if (peer_shared) {
-            // A valid node-level copy exists; supply locally, unless a
-            // racing invalidation removed every copy meanwhile.
+        if (peer_can_supply) {
+            // A supply-capable node-level copy exists; supply locally,
+            // unless a racing invalidation removed it meanwhile.
             co_await delay(cfg_.cacheToCache);
             co_await until(bus_.dataPhase(eq_.now()));
             bool still_valid = false;
             for (auto &pp : procs_) {
-                if (pp.get() != &requester &&
-                    pp->snoopLine(line_paddr, false, false) !=
-                        Mesi::Invalid) {
+                if (pp.get() == &requester)
+                    continue;
+                Mesi s = pp->snoopLine(line_paddr, false, true, true);
+                if (s == Mesi::Invalid)
+                    continue;
+                const Transition *t =
+                    proto_.tryOn(s, LineEvent::SnoopRead);
+                if (t && (t->actions & kActSupplyData)) {
                     still_valid = true;
                     break;
                 }
@@ -174,7 +225,7 @@ Node::memAccess(Proc &requester, FrameNum frame, std::uint32_t line_idx,
                 co_await delay(cfg_.retryDelay);
                 continue;
             }
-            requester.fillLine(line_paddr, Mesi::Shared);
+            requester.fillLine(line_paddr, proto_.peerReadFill());
             co_return;
         }
         MissResult res;
@@ -185,14 +236,20 @@ Node::memAccess(Proc &requester, FrameNum frame, std::uint32_t line_idx,
             co_await delay(cfg_.retryDelay);
             continue;
         }
-        const Mesi grant =
-            res.exclusive ? Mesi::Exclusive : Mesi::Shared;
+        const Mesi grant = proto_.readFill(res.exclusive);
         co_await until(bus_.dataPhase(eq_.now()));
         if (!ctrl_->finishFill(frame, line_idx, grant)) {
             co_await delay(cfg_.retryDelay);
             continue;
         }
         requester.fillLine(line_paddr, grant);
+        // MSI has no clean-exclusive state: give an exclusive grant's
+        // node-level ownership straight back to the home, else the
+        // directory would hold this node as Owner of a line every
+        // local cache thinks is merely Shared (and could drop
+        // silently).
+        if (res.exclusive && proto_.demoteExclusiveReadGrant())
+            ctrl_->reflectDowngrade(frame, line_idx, false);
         co_return;
     }
 }
@@ -212,9 +269,9 @@ Node::intervene(FrameNum frame, std::uint32_t line_idx, bool invalidate,
         if (s == Mesi::Invalid)
             continue;
         found = true;
-        if (s == Mesi::Modified)
+        if (dirtyLine(s))
             dirty = true;
-        if (s == Mesi::Modified || s == Mesi::Exclusive)
+        if (ownerClass(s))
             exclusive = true;
     }
     Tick done = bus_.addressPhase(at);
@@ -235,6 +292,19 @@ Node::anyCachedCopy(FrameNum frame) const
     for (const auto &p : procs_) {
         Proc &proc = *p; // cache accessors are non-const
         if (proc.l2().anyInFrame(frame) || proc.l1().anyInFrame(frame))
+            return true;
+    }
+    return false;
+}
+
+bool
+Node::lineCached(FrameNum frame, std::uint32_t line_idx) const
+{
+    const std::uint64_t line_paddr =
+        (frame << kPageShift) |
+        (static_cast<std::uint64_t>(line_idx) << geo_.lineShift());
+    for (const auto &p : procs_) {
+        if (p->lineState(line_paddr) != Mesi::Invalid)
             return true;
     }
     return false;

@@ -4,8 +4,10 @@
  * bus, local memory, an independent OS kernel, and the coherence
  * controller sitting between the bus and the network interface.
  *
- * Node implements the intra-node MESI snooping protocol (peer caches
- * supply and downgrade/invalidate each other over the bus) and is the
+ * Node implements the intra-node snooping protocol (peer caches
+ * supply and downgrade/invalidate each other over the bus) driven by
+ * the configured line-protocol table (coherence/line_protocol:
+ * MSI/MESI/MOESI/MESIF), and is the
  * ControllerHost through which the coherence controller intervenes in
  * processor caches and cooperates with the kernel for migration.
  */
@@ -19,6 +21,7 @@
 #include <vector>
 
 #include "coherence/controller.hh"
+#include "coherence/line_protocol.hh"
 #include "core/config.hh"
 #include "core/proc.hh"
 #include "mem/bus.hh"
@@ -54,18 +57,22 @@ class Node : public ControllerHost
     /** Deliver a network message to this node. */
     void receive(Msg m);
 
+    /** The line-protocol scheme this node's bus speaks. */
+    const LineProtocol &protocol() const { return proto_; }
+
     /**
      * Service an access that missed in @p requester's caches (or
      * needs an upgrade).  Arbitrates the bus, snoops peer caches,
      * consults the coherence controller as needed, and fills the
      * requester's caches before returning.
      *
-     * @param requester_had_shared  the requester holds an S copy
-     *        (write-upgrade case)
+     * @param requester_state  merged L1/L2 state the requester held
+     *        going in (Shared/Owned/Forward on write upgrades,
+     *        Invalid on misses)
      */
     CoTask memAccess(Proc &requester, FrameNum frame,
                      std::uint32_t line_idx, bool write,
-                     bool requester_had_shared);
+                     Mesi requester_state);
 
     // --- ControllerHost ---------------------------------------------------
 
@@ -73,6 +80,7 @@ class Node : public ControllerHost
                                  bool invalidate, Tick at) override;
     bool anyBusPending(FrameNum frame) const override;
     bool anyCachedCopy(FrameNum frame) const override;
+    bool lineCached(FrameNum frame, std::uint32_t line_idx) const override;
     FrameNum migrationAllocFrame(GPage gp) override;
     void migrationFreeFrame(FrameNum frame, GPage gp) override;
     std::uint64_t homeKernelClients(GPage gp) override;
@@ -87,6 +95,7 @@ class Node : public ControllerHost
     const MachineConfig &cfg_;
     EventQueue &eq_;
     LineGeometry geo_;
+    const LineProtocol &proto_;
     MemoryBus bus_;
     Dram dram_;
     std::unique_ptr<Kernel> kernel_;

@@ -165,14 +165,16 @@ Proc::insertL1(std::uint64_t line_paddr, Mesi state)
     // commit cache re-arm it for the inserted line themselves.
     clearFastLine();
     auto victim = l1_.insert(line_paddr, state);
-    if (victim && victim->state == Mesi::Modified) {
+    if (victim && dirtyLine(victim->state)) {
         // Fold the dirty L1 victim into the (inclusive) L2 copy.
         if (l2_.contains(victim->lineAddr)) {
-            l2_.setState(victim->lineAddr, Mesi::Modified);
+            l2_.setState(victim->lineAddr,
+                         strongerLine(victim->state,
+                                      l2_.lookup(victim->lineAddr)));
         } else {
             node_.controller().evictLine(
                 victim->lineAddr >> kPageShift,
-                geo_.lineIndex(victim->lineAddr), Mesi::Modified);
+                geo_.lineIndex(victim->lineAddr), victim->state);
         }
     }
 }
@@ -185,8 +187,7 @@ Proc::fillLine(std::uint64_t line_paddr, Mesi state)
         // Inclusion: the L1 copy of the victim must go too.
         clearFastLine();
         Mesi s1 = l1_.invalidate(victim->lineAddr);
-        Mesi merged =
-            (s1 == Mesi::Modified) ? Mesi::Modified : victim->state;
+        Mesi merged = strongerLine(s1, victim->state);
         node_.controller().evictLine(victim->lineAddr >> kPageShift,
                                      geo_.lineIndex(victim->lineAddr),
                                      merged);
@@ -236,15 +237,16 @@ Proc::slowAccess(VAddr va, bool write, std::coroutine_handle<> caller)
 
         const std::uint64_t paddr = (frame << kPageShift) | va.offset();
         const std::uint32_t line_idx = geo_.lineIndex(paddr);
-        const bool had_shared = l1_.lookup(paddr) == Mesi::Shared ||
-                                l2_.lookup(paddr) == Mesi::Shared;
-        if (had_shared && write)
+        // The merged state we hold going in: under MESI this can only
+        // be Shared (owner-state hits commit in fastCore), but Owned
+        // and Forward writes also reach here needing an upgrade.
+        const Mesi held = lineState(paddr);
+        if (held != Mesi::Invalid && write)
             ++stats_.upgradesLocal;
         else
             ++stats_.l2Misses;
         const Tick t0 = eq_.now();
-        co_await node_.memAccess(*this, frame, line_idx, write,
-                                 had_shared);
+        co_await node_.memAccess(*this, frame, line_idx, write, held);
         missLatency_.sample(eq_.now() - t0);
         // Loop: the fill (or a racing invalidation) is re-checked.
     }
@@ -252,11 +254,12 @@ Proc::slowAccess(VAddr va, bool write, std::coroutine_handle<> caller)
 }
 
 Mesi
-Proc::snoopLine(std::uint64_t line_paddr, bool invalidate, bool downgrade)
+Proc::snoopLine(std::uint64_t line_paddr, bool invalidate, bool downgrade,
+                bool bus_read)
 {
     const Mesi s1 = l1_.lookup(line_paddr);
     const Mesi s2 = l2_.lookup(line_paddr);
-    Mesi merged = s1 > s2 ? s1 : s2; // I < S < E < M
+    Mesi merged = strongerLine(s1, s2);
     if (merged == Mesi::Invalid)
         return merged;
     if (line_paddr == fastLineAddr_)
@@ -264,12 +267,18 @@ Proc::snoopLine(std::uint64_t line_paddr, bool invalidate, bool downgrade)
     if (invalidate) {
         l1_.invalidate(line_paddr);
         l2_.invalidate(line_paddr);
-    } else if (downgrade &&
-               (merged == Mesi::Modified || merged == Mesi::Exclusive)) {
-        if (s1 != Mesi::Invalid)
-            l1_.setState(line_paddr, Mesi::Shared);
-        if (s2 != Mesi::Invalid)
-            l2_.setState(line_paddr, Mesi::Shared);
+    } else if (downgrade) {
+        Mesi next = merged;
+        if (bus_read)
+            next = node_.protocol().on(merged, LineEvent::SnoopRead).next;
+        else if (ownerClass(merged))
+            next = Mesi::Shared;
+        if (next != merged) {
+            if (s1 != Mesi::Invalid)
+                l1_.setState(line_paddr, next);
+            if (s2 != Mesi::Invalid)
+                l2_.setState(line_paddr, next);
+        }
     }
     return merged;
 }

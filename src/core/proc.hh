@@ -117,10 +117,24 @@ class Proc
 
     /**
      * Snoop this processor's caches for a line (bus intervention).
+     * With @p downgrade, an intra-node snoop read (@p bus_read) moves
+     * the line per the node's protocol table (MOESI retains dirty
+     * data as Owned, MESIF demotes Forward), while an inter-node
+     * intervention forces owner-class states to Shared — the node is
+     * relinquishing ownership to the home, so a surviving local
+     * Owned/Exclusive copy would desynchronise the directory.
      * @return the state held (merged over L1/L2) before the action.
      */
     Mesi snoopLine(std::uint64_t line_paddr, bool invalidate,
-                   bool downgrade);
+                   bool downgrade, bool bus_read = false);
+
+    /** Non-mutating merged L1/L2 state of a line (no LRU effects). */
+    Mesi
+    lineState(std::uint64_t line_paddr) const
+    {
+        return strongerLine(l1_.lookup(line_paddr),
+                            l2_.lookup(line_paddr));
+    }
 
     /** Invalidate all cached lines of @p frame (page tear-down). */
     void invalidateFrame(FrameNum frame);

@@ -12,6 +12,8 @@ mesiName(Mesi s)
       case Mesi::Shared: return "S";
       case Mesi::Exclusive: return "E";
       case Mesi::Modified: return "M";
+      case Mesi::Owned: return "O";
+      case Mesi::Forward: return "F";
     }
     return "?";
 }

@@ -31,16 +31,76 @@
 
 namespace prism {
 
-/** Classic MESI line states. */
-enum class Mesi : std::uint8_t {
+/**
+ * Processor-cache line states, the union over all supported line
+ * protocols (coherence/line_protocol).  The first four are classic
+ * MESI and keep their historical numeric values; Owned (MOESI) and
+ * Forward (MESIF) are appended so stored state bytes stay valid.
+ *
+ * Numeric order is NOT permission order once the appended states are
+ * in play — compare with lineStrength() / strongerLine(), never with
+ * raw `<`/`>`.
+ */
+enum class LineState : std::uint8_t {
     Invalid,
     Shared,
     Exclusive,
     Modified,
+    Owned,   //!< dirty, this cache supplies; other Shared copies exist
+    Forward, //!< clean Shared copy designated to supply (newest sharer)
 };
 
-/** Human-readable name of a MESI state. */
+/** Historical alias: most of the simulator predates the widening. */
+using Mesi = LineState;
+
+/** Human-readable name of a line state. */
 const char *mesiName(Mesi s);
+
+/**
+ * Access-permission strength, for merging the L1/L2 views of a line:
+ * I < S < F < E < O < M.  For the four MESI states this coincides
+ * with the numeric enum order the pre-widening code compared with.
+ */
+constexpr int
+lineStrength(LineState s)
+{
+    switch (s) {
+      case LineState::Invalid: return 0;
+      case LineState::Shared: return 1;
+      case LineState::Forward: return 2;
+      case LineState::Exclusive: return 3;
+      case LineState::Owned: return 4;
+      case LineState::Modified: return 5;
+    }
+    return 0;
+}
+
+/** The stronger of two views of one line (ties keep @p a). */
+constexpr LineState
+strongerLine(LineState a, LineState b)
+{
+    return lineStrength(a) >= lineStrength(b) ? a : b;
+}
+
+/**
+ * Owner-class states: the holder is responsible for the line's data
+ * (supplies interventions, must not be dropped silently).  At the
+ * inter-node level an owner-class processor copy implies the node
+ * holds the line exclusively in the full-map directory.
+ */
+constexpr bool
+ownerClass(LineState s)
+{
+    return s == LineState::Modified || s == LineState::Exclusive ||
+           s == LineState::Owned;
+}
+
+/** States whose data is dirty with respect to memory. */
+constexpr bool
+dirtyLine(LineState s)
+{
+    return s == LineState::Modified || s == LineState::Owned;
+}
 
 /** Result of a cache insertion: the victim line, if one was evicted. */
 struct Victim {

@@ -43,6 +43,7 @@ buildRunReport(Machine &m)
     r.numNodes = cfg.numNodes;
     r.procsPerNode = cfg.procsPerNode;
     r.policy = policyName(cfg.policy);
+    r.protocol = protocolName(cfg.protocol);
     r.seed = cfg.seed;
     r.l1Bytes = cfg.l1Bytes;
     r.l2Bytes = cfg.l2Bytes;
@@ -128,6 +129,7 @@ RunReport::writeJson(JsonWriter &w) const
     w.kv("numNodes", numNodes);
     w.kv("procsPerNode", procsPerNode);
     w.kv("policy", std::string_view(policy));
+    w.kv("protocol", std::string_view(protocol));
     w.kv("seed", seed);
     w.kv("l1Bytes", l1Bytes);
     w.kv("l2Bytes", l2Bytes);

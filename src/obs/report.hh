@@ -29,7 +29,7 @@ class Machine;
 class JsonWriter;
 
 /** Bump on ANY change to the JSON shape (keys added/removed/moved). */
-constexpr int kRunReportSchemaVersion = 1;
+constexpr int kRunReportSchemaVersion = 2;
 
 /** Everything the JSON run report contains, in exporter-ready form. */
 struct RunReport {
@@ -39,6 +39,7 @@ struct RunReport {
     std::uint32_t numNodes = 0;
     std::uint32_t procsPerNode = 0;
     std::string policy;
+    std::string protocol; //!< line-protocol scheme (msi|mesi|moesi|mesif)
     std::uint64_t seed = 0;
     std::uint32_t l1Bytes = 0;
     std::uint32_t l2Bytes = 0;

@@ -141,6 +141,72 @@ TEST(Cache, MesiNames)
 {
     EXPECT_STREQ(mesiName(Mesi::Invalid), "I");
     EXPECT_STREQ(mesiName(Mesi::Modified), "M");
+    EXPECT_STREQ(mesiName(Mesi::Owned), "O");
+    EXPECT_STREQ(mesiName(Mesi::Forward), "F");
+}
+
+// The tag store is protocol-agnostic payload storage: the widened
+// states (Owned from MOESI, Forward from MESIF) must round-trip
+// through every accessor exactly like the classic three.
+TEST(Cache, WidenedStatesRoundTrip)
+{
+    SetAssocCache c(512, 1, 64); // direct-mapped, 8 sets
+    c.insert(0x0000, Mesi::Owned);
+    c.insert(0x0080, Mesi::Forward);
+    EXPECT_EQ(c.lookup(0x0000), Mesi::Owned);
+    EXPECT_EQ(c.lookup(0x0080), Mesi::Forward);
+
+    c.setState(0x0080, Mesi::Owned);
+    EXPECT_EQ(c.lookup(0x0080), Mesi::Owned);
+    c.setState(0x0080, Mesi::Forward);
+
+    // Victims carry the widened state out (stride 512 conflicts).
+    auto v = c.insert(0x0200, Mesi::Shared);
+    ASSERT_TRUE(v);
+    EXPECT_EQ(v->lineAddr, 0x0000u);
+    EXPECT_EQ(v->state, Mesi::Owned);
+
+    // Frame sweeps report them too.
+    auto victims = c.invalidateFrame(0);
+    ASSERT_EQ(victims.size(), 2u);
+    EXPECT_EQ(c.validLines(), 0u);
+
+    c.insert(0x0040, Mesi::Forward);
+    EXPECT_EQ(c.invalidate(0x0040), Mesi::Forward);
+}
+
+// The permission-strength helpers order states for merging split
+// L1/L2 views; numeric enum order is NOT the permission order once
+// Owned/Forward exist.
+TEST(Cache, LineStrengthHelpers)
+{
+    // I < S < F < E < O < M.
+    EXPECT_LT(lineStrength(Mesi::Invalid), lineStrength(Mesi::Shared));
+    EXPECT_LT(lineStrength(Mesi::Shared), lineStrength(Mesi::Forward));
+    EXPECT_LT(lineStrength(Mesi::Forward),
+              lineStrength(Mesi::Exclusive));
+    EXPECT_LT(lineStrength(Mesi::Exclusive), lineStrength(Mesi::Owned));
+    EXPECT_LT(lineStrength(Mesi::Owned), lineStrength(Mesi::Modified));
+
+    EXPECT_EQ(strongerLine(Mesi::Owned, Mesi::Shared), Mesi::Owned);
+    EXPECT_EQ(strongerLine(Mesi::Shared, Mesi::Owned), Mesi::Owned);
+    EXPECT_EQ(strongerLine(Mesi::Forward, Mesi::Exclusive),
+              Mesi::Exclusive);
+    // Ties keep the first argument.
+    EXPECT_EQ(strongerLine(Mesi::Shared, Mesi::Shared), Mesi::Shared);
+
+    EXPECT_TRUE(ownerClass(Mesi::Modified));
+    EXPECT_TRUE(ownerClass(Mesi::Exclusive));
+    EXPECT_TRUE(ownerClass(Mesi::Owned));
+    EXPECT_FALSE(ownerClass(Mesi::Forward));
+    EXPECT_FALSE(ownerClass(Mesi::Shared));
+    EXPECT_FALSE(ownerClass(Mesi::Invalid));
+
+    EXPECT_TRUE(dirtyLine(Mesi::Modified));
+    EXPECT_TRUE(dirtyLine(Mesi::Owned));
+    EXPECT_FALSE(dirtyLine(Mesi::Exclusive));
+    EXPECT_FALSE(dirtyLine(Mesi::Forward));
+    EXPECT_FALSE(dirtyLine(Mesi::Shared));
 }
 
 } // namespace

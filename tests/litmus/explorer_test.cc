@@ -5,11 +5,25 @@
  * deliberately broken protocol (homes skipping an invalidation) is
  * caught by the oracle and shrinks to a small deterministic replay,
  * and replay ids round-trip.
+ *
+ * Two suites are driven from CMake as dedicated ctest entries:
+ *   - FuzzProtocolSweep: one entry per (line-protocol scheme, seed),
+ *     scheme from PRISM_FUZZ_PROTOCOL and seed from
+ *     PRISM_PROPERTY_SEED (fuzz_<scheme>_seed_<n>).
+ *   - FuzzCorpus: replays tests/litmus/fuzz_corpus.txt — shrunk
+ *     failing schedules committed as a regression corpus; each entry
+ *     must still be caught by the oracle at exactly its shrunk budget.
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "check/explorer.hh"
 
@@ -71,6 +85,142 @@ TEST(Explorer, ReplayDeterminism)
     EXPECT_EQ(a.failed, b.failed);
     EXPECT_EQ(a.violationCount, b.violationCount);
     EXPECT_EQ(a.firstViolation, b.firstViolation);
+}
+
+/**
+ * Per-scheme fuzz sweep.  CMake registers one ctest entry per
+ * (scheme, seed): the scheme comes from PRISM_FUZZ_PROTOCOL, the seed
+ * from PRISM_PROPERTY_SEED (the repo-wide sweep convention).  Run
+ * bare (no env), it smoke-checks seed 1 of every scheme.
+ */
+TEST(FuzzProtocolSweep, CleanUnderJitterAndPageFlips)
+{
+    std::vector<ProtocolScheme> schemes;
+    std::uint64_t seed = 1;
+    if (const char *env = std::getenv("PRISM_FUZZ_PROTOCOL")) {
+        ProtocolScheme ps;
+        ASSERT_TRUE(protocolFromString(env, &ps))
+            << "bad PRISM_FUZZ_PROTOCOL '" << env << "'";
+        schemes.push_back(ps);
+    } else {
+        schemes = {ProtocolScheme::Msi, ProtocolScheme::Mesi,
+                   ProtocolScheme::Moesi, ProtocolScheme::Mesif};
+    }
+    if (const char *env = std::getenv("PRISM_PROPERTY_SEED"))
+        seed = std::strtoull(env, nullptr, 10);
+
+    for (ProtocolScheme scheme : schemes) {
+        FuzzOptions opt;
+        opt.seed = seed;
+        opt.protocol = scheme;
+        opt.totalOps = 400;
+        // Vary the policy and frame cap with the seed so the sweep
+        // also crosses page-mode machinery per scheme.
+        opt.policy = seed % 2 ? PolicyKind::Scoma : PolicyKind::DynLru;
+        opt.clientFrameCap = seed % 2 ? 0 : 2;
+        FuzzResult r = runFuzzCase(opt, opt.totalOps);
+        EXPECT_FALSE(r.failed)
+            << protocolName(scheme) << " seed " << seed << ": "
+            << r.firstViolation;
+        EXPECT_GT(r.checksRun, 0u);
+    }
+}
+
+/** The fault injection stays observable under every scheme. */
+TEST(FuzzProtocolSweep, MutationCaughtUnderEveryScheme)
+{
+    for (ProtocolScheme scheme :
+         {ProtocolScheme::Msi, ProtocolScheme::Mesi,
+          ProtocolScheme::Moesi, ProtocolScheme::Mesif}) {
+        FuzzOptions opt;
+        opt.protocol = scheme;
+        opt.totalOps = 600;
+        opt.mutationSkipInvals = 1;
+        bool caught = false;
+        for (std::uint64_t seed = 1; seed <= 10 && !caught; ++seed) {
+            opt.seed = seed;
+            if (runFuzzCase(opt, opt.totalOps).failed)
+                caught = true;
+        }
+        EXPECT_TRUE(caught)
+            << protocolName(scheme)
+            << ": no seed in 1..10 exposed the skipped invalidation";
+    }
+}
+
+/** One committed regression-corpus entry. */
+struct CorpusEntry {
+    std::string scheme;
+    std::string policy;
+    std::uint32_t skipInvals = 0;
+    std::uint64_t seed = 0;
+    std::uint32_t len = 0;
+};
+
+std::vector<CorpusEntry>
+loadCorpus(const std::string &path)
+{
+    std::ifstream is(path);
+    EXPECT_TRUE(is) << "cannot open corpus " << path;
+    std::vector<CorpusEntry> out;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        CorpusEntry e;
+        std::string replay;
+        ls >> e.scheme >> e.policy >> e.skipInvals >> replay;
+        EXPECT_FALSE(ls.fail()) << "bad corpus line: " << line;
+        EXPECT_TRUE(parseReplayId(replay.c_str(), &e.seed, &e.len))
+            << "bad replay id in corpus line: " << line;
+        out.push_back(e);
+    }
+    return out;
+}
+
+PolicyKind
+policyFromName(const std::string &name)
+{
+    for (PolicyKind k : {PolicyKind::Scoma, PolicyKind::LaNuma,
+                         PolicyKind::Scoma70, PolicyKind::DynFcfs,
+                         PolicyKind::DynUtil, PolicyKind::DynLru,
+                         PolicyKind::DynBoth}) {
+        if (name == policyName(k))
+            return k;
+    }
+    ADD_FAILURE() << "unknown policy in corpus: " << name;
+    return PolicyKind::Scoma;
+}
+
+/**
+ * Regression corpus: every committed shrunk schedule still fails at
+ * exactly its shrunk budget (the oracle catches the injected fault),
+ * and the shrink is still minimal (budget - 1 passes).  Budgets are
+ * tiny, so the whole corpus replays in well under a second.
+ */
+TEST(FuzzCorpus, ShrunkSchedulesStillCaught)
+{
+    const std::vector<CorpusEntry> corpus =
+        loadCorpus(std::string(PRISM_SOURCE_DIR) +
+                   "/tests/litmus/fuzz_corpus.txt");
+    ASSERT_FALSE(corpus.empty());
+    for (const CorpusEntry &e : corpus) {
+        SCOPED_TRACE(e.scheme + "/" + e.policy + " " +
+                     replayId(e.seed, e.len));
+        FuzzOptions opt;
+        opt.seed = e.seed;
+        opt.policy = policyFromName(e.policy);
+        ASSERT_TRUE(protocolFromString(e.scheme.c_str(), &opt.protocol));
+        opt.totalOps = e.len;
+        opt.mutationSkipInvals = e.skipInvals;
+        EXPECT_TRUE(runFuzzCase(opt, e.len).failed)
+            << "corpus schedule no longer caught";
+        if (e.len > 1) {
+            EXPECT_FALSE(runFuzzCase(opt, e.len - 1).failed)
+                << "corpus schedule no longer minimal";
+        }
+    }
 }
 
 TEST(Explorer, ReplayIdRoundTrip)

@@ -75,7 +75,11 @@ driveCachePair(std::uint64_t seed, std::uint32_t ops)
         const std::uint64_t off = rng() % kPageBytes;
         return (frame << kPageShift) | off;
     };
-    const Mesi valid[] = {Mesi::Shared, Mesi::Exclusive, Mesi::Modified};
+    // All five valid line states: the tag store is protocol-agnostic
+    // payload storage, so Owned/Forward (MOESI/MESIF) must round-trip
+    // through lookups, victims and snapshots like the classic three.
+    const Mesi valid[] = {Mesi::Shared, Mesi::Exclusive, Mesi::Modified,
+                          Mesi::Owned, Mesi::Forward};
 
     for (std::uint32_t i = 0; i < ops; ++i) {
         const std::uint64_t paddr = randAddr();
