@@ -2,28 +2,24 @@
  * @file
  * Shared helpers for the table/figure reproduction benches.
  *
- * Environment knobs:
- *   PRISM_SCALE = paper | small | tiny   (default: paper)
- *   PRISM_APPS  = comma-separated app filter (default: all eight;
- *                 a filter matching nothing is a fatal error)
- *   PRISM_JOBS  = worker threads for the parallel sweep runner
- *                 (default: hardware concurrency; `--jobs N` wins)
- *   PRISM_JOBS_INTRA = event-loop shards *inside* each simulation
- *                 (default: 1 = sequential scheduler; `--jobs-intra N`
- *                 wins; see docs/PERFORMANCE.md "Sharded scheduler")
- *   PRISM_PROTOCOL = msi | mesi | moesi | mesif  (default: mesi;
- *                 `--protocol <scheme>` wins; see docs/PROTOCOL.md)
+ * Every knob is declared once in the PRISM env registry
+ * (src/core/env.hh); BenchOptions::parse resolves each one with a
+ * single precedence rule — flag > environment > default — and
+ * `--help` prints the generated table.  Flags a bench defines for
+ * itself (e.g. pit_sensitivity's `--ccnuma`) are collected in extra_
+ * and queried with flag().
  *
  * Common CLI (BenchOptions::parse):
- *   --report <path>   write a schema-versioned JSON report
- *   --jobs <n>        worker threads (overrides PRISM_JOBS)
- *   --jobs-intra <n>  event-loop shards per simulation
- *                     (overrides PRISM_JOBS_INTRA)
- *   --protocol <p>    intra-node line protocol (overrides
- *                     PRISM_PROTOCOL)
- *   --list            print the application inventory and exit
- *                     (benches that support it)
- * Bench-specific flags (e.g. --ccnuma) pass through via extra().
+ *   --scale <s>        problem size         (PRISM_SCALE)
+ *   --apps <filter>    application filter   (PRISM_APPS)
+ *   --jobs <n>         sweep workers        (PRISM_JOBS)
+ *   --jobs-intra <n>   event-loop shards    (PRISM_JOBS_INTRA)
+ *   --protocol <p>     line protocol        (PRISM_PROTOCOL)
+ *   --frontend <f>     exec|record|replay   (PRISM_FRONTEND)
+ *   --trace-file <p>   .ptrace path         (PRISM_TRACE_FILE)
+ *   --report <path>    write a schema-versioned JSON report
+ *   --list             print the application inventory and exit
+ *   --help             print the knob table and exit
  */
 
 #ifndef PRISM_BENCH_BENCH_UTIL_HH
@@ -36,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "core/env.hh"
 #include "obs/json.hh"
 #include "obs/report.hh"
 #include "sim/logging.hh"
@@ -47,10 +44,9 @@ namespace prism {
 namespace bench {
 
 inline AppScale
-scaleFromEnv()
+parseScale(const char *s)
 {
-    const char *s = std::getenv("PRISM_SCALE");
-    if (!s || !std::strcmp(s, "paper"))
+    if (!std::strcmp(s, "paper"))
         return AppScale::Paper;
     if (!std::strcmp(s, "small"))
         return AppScale::Small;
@@ -60,6 +56,13 @@ scaleFromEnv()
                  "unknown PRISM_SCALE '%s' (valid: paper small tiny)\n",
                  s);
     std::exit(1);
+}
+
+inline AppScale
+scaleFromEnv()
+{
+    const char *s = resolveEnv("PRISM_SCALE");
+    return s ? parseScale(s) : AppScale::Paper;
 }
 
 inline const char *
@@ -73,16 +76,18 @@ scaleName(AppScale s)
     return "?";
 }
 
+/**
+ * Apply a comma-separated substring @p filter to the standard app
+ * inventory at @p scale: an app is selected when any token appears in
+ * its name (e.g. "Water" selects both Water variants).  Null selects
+ * everything; a filter matching nothing is a fatal error.
+ */
 inline std::vector<AppSpec>
-appsFromEnv(AppScale scale)
+filterApps(AppScale scale, const char *filter)
 {
     std::vector<AppSpec> all = standardApps(scale);
-    const char *filter = std::getenv("PRISM_APPS");
     if (!filter)
         return all;
-    // Comma-separated substrings: an app is selected when any token
-    // appears in its name (e.g. PRISM_APPS=Water selects both Water
-    // variants).
     std::vector<std::string> tokens;
     std::string f = filter;
     std::size_t pos = 0;
@@ -116,31 +121,25 @@ appsFromEnv(AppScale scale)
     return out;
 }
 
-inline void
-banner(const char *what, unsigned jobs = 0)
+inline std::vector<AppSpec>
+appsFromEnv(AppScale scale)
 {
-    AppScale s = scaleFromEnv();
-    std::printf("# PRISM reproduction: %s\n", what);
-    std::printf("# machine: 8 nodes x 4 procs, 8KB L1 / 32KB L2, "
-                "4KB pages, 64B lines\n");
-    std::printf("# scale: %s (PRISM_SCALE to change)", scaleName(s));
-    if (jobs)
-        std::printf("; jobs: %u (PRISM_JOBS/--jobs to change)", jobs);
-    std::printf("\n\n");
+    return filterApps(scale, resolveEnv("PRISM_APPS"));
 }
 
 /**
  * The unified bench command line.  Every table/figure bench parses its
- * arguments through here so that `--report`, `--jobs` and `--list`
- * behave identically across the suite; flags a bench defines for
- * itself (e.g. pit_sensitivity's `--ccnuma`) are collected in extra_
- * and queried with flag().
+ * arguments through here so the common flags behave identically
+ * across the suite; each registered knob resolves as flag > env >
+ * default through the env registry (core/env.hh).
  */
 struct BenchOptions {
     AppScale scale = AppScale::Paper;
     unsigned jobs = 1;
     unsigned jobsIntra = 1; //!< event-loop shards per simulation
     ProtocolScheme protocol = ProtocolScheme::Mesi;
+    FrontendKind frontend = FrontendKind::Exec;
+    std::string traceFile; //!< empty unless --trace-file was given
     std::vector<AppSpec> apps;
     std::string reportPath; //!< empty when --report was not given
     bool list = false;
@@ -148,44 +147,65 @@ struct BenchOptions {
     static BenchOptions
     parse(int argc, char **argv)
     {
-        BenchOptions o;
-        o.scale = scaleFromEnv();
-        o.apps = appsFromEnv(o.scale);
-        o.jobs = jobsFromArgs(argc, argv);
-        if (const char *ji = std::getenv("PRISM_JOBS_INTRA")) {
-            int v = std::atoi(ji);
-            if (v < 1)
-                fatal("PRISM_JOBS_INTRA must be >= 1 (got '%s')", ji);
-            o.jobsIntra = static_cast<unsigned>(v);
-        }
-        if (const char *pr = std::getenv("PRISM_PROTOCOL"))
-            o.protocol = parseProtocol(pr);
         for (int i = 1; i < argc; ++i) {
+            if (!std::strcmp(argv[i], "--help") ||
+                !std::strcmp(argv[i], "-h")) {
+                std::printf("usage: %s [flags]\n\n"
+                            "Registered knobs (flag > environment > "
+                            "default):\n%s\n"
+                            "Flag-only options:\n"
+                            "  --report <path>   write a JSON report\n"
+                            "  --list            print the application "
+                            "inventory and exit\n"
+                            "  --help            this table\n",
+                            argv[0], envHelpTable().c_str());
+                std::exit(0);
+            }
+        }
+
+        BenchOptions o;
+        if (const char *v = resolve(argc, argv, "PRISM_SCALE"))
+            o.scale = parseScale(v);
+        o.apps =
+            filterApps(o.scale, resolve(argc, argv, "PRISM_APPS"));
+        o.jobs = parseCount("PRISM_JOBS/--jobs",
+                            resolve(argc, argv, "PRISM_JOBS"),
+                            defaultJobs());
+        o.jobsIntra = parseCount("PRISM_JOBS_INTRA/--jobs-intra",
+                                 resolve(argc, argv,
+                                         "PRISM_JOBS_INTRA"),
+                                 1);
+        if (const char *v = resolve(argc, argv, "PRISM_PROTOCOL"))
+            o.protocol = parseProtocol(v);
+        if (const char *v = resolve(argc, argv, "PRISM_FRONTEND")) {
+            if (!frontendFromString(v, &o.frontend)) {
+                fatal("unknown frontend '%s' (valid: exec record "
+                      "replay)", v);
+            }
+        }
+        if (const char *v = resolve(argc, argv, "PRISM_TRACE_FILE"))
+            o.traceFile = v;
+        if ((o.frontend == FrontendKind::Record ||
+             o.frontend == FrontendKind::Replay) &&
+            o.traceFile.empty()) {
+            fatal("--frontend=%s requires --trace-file (or "
+                  "PRISM_TRACE_FILE)", frontendName(o.frontend));
+        }
+
+        // Everything not consumed by a registered knob or a common
+        // flag passes through to the bench.
+        for (int i = 1; i < argc; ++i) {
+            if (const EnvKnob *k = matchKnobFlag(argv[i])) {
+                if (!std::strcmp(argv[i], k->flag))
+                    ++i; // skip the value token
+                continue;
+            }
             if (!std::strcmp(argv[i], "--report") && i + 1 < argc) {
                 o.reportPath = argv[++i];
             } else if (!std::strncmp(argv[i], "--report=", 9)) {
                 o.reportPath = argv[i] + 9;
             } else if (!std::strcmp(argv[i], "--report")) {
                 fatal("--report requires a path argument");
-            } else if (!std::strcmp(argv[i], "--jobs") &&
-                       i + 1 < argc) {
-                ++i; // value consumed by jobsFromArgs above
-            } else if (!std::strncmp(argv[i], "--jobs=", 7)) {
-                // handled by jobsFromArgs above
-            } else if (!std::strcmp(argv[i], "--jobs-intra") &&
-                       i + 1 < argc) {
-                o.jobsIntra = parseJobsIntra(argv[++i]);
-            } else if (!std::strncmp(argv[i], "--jobs-intra=", 13)) {
-                o.jobsIntra = parseJobsIntra(argv[i] + 13);
-            } else if (!std::strcmp(argv[i], "--jobs-intra")) {
-                fatal("--jobs-intra requires a count argument");
-            } else if (!std::strcmp(argv[i], "--protocol") &&
-                       i + 1 < argc) {
-                o.protocol = parseProtocol(argv[++i]);
-            } else if (!std::strncmp(argv[i], "--protocol=", 11)) {
-                o.protocol = parseProtocol(argv[i] + 11);
-            } else if (!std::strcmp(argv[i], "--protocol")) {
-                fatal("--protocol requires a scheme argument");
             } else if (!std::strcmp(argv[i], "--list")) {
                 o.list = true;
             } else {
@@ -208,13 +228,58 @@ struct BenchOptions {
 
     bool wantReport() const { return !reportPath.empty(); }
 
-  private:
-    static unsigned
-    parseJobsIntra(const char *s)
+    /**
+     * Resolve one registered knob with the uniform precedence rule:
+     * the knob's CLI flag (last occurrence wins) > its environment
+     * variable > nullptr (caller applies the default).
+     */
+    static const char *
+    resolve(int argc, char **argv, const char *env_name)
     {
-        int v = std::atoi(s);
-        if (v < 1)
-            fatal("--jobs-intra must be >= 1 (got '%s')", s);
+        const EnvKnob *k = findEnvKnob(env_name);
+        prism_assert(k, "knob '%s' missing from the env registry",
+                     env_name);
+        const char *v = nullptr;
+        if (k->flag) {
+            const std::size_t flen = std::strlen(k->flag);
+            for (int i = 1; i < argc; ++i) {
+                if (!std::strcmp(argv[i], k->flag)) {
+                    if (i + 1 >= argc)
+                        fatal("%s requires a value (%s)", k->flag,
+                              k->values);
+                    v = argv[++i];
+                } else if (!std::strncmp(argv[i], k->flag, flen) &&
+                           argv[i][flen] == '=') {
+                    v = argv[i] + flen + 1;
+                }
+            }
+        }
+        return v ? v : resolveEnv(env_name);
+    }
+
+  private:
+    /** The registry knob whose flag @p arg spells ("--x" or "--x=v"). */
+    static const EnvKnob *
+    matchKnobFlag(const char *arg)
+    {
+        if (std::strncmp(arg, "--", 2))
+            return nullptr;
+        std::string name = arg;
+        const std::size_t eq = name.find('=');
+        if (eq != std::string::npos)
+            name.resize(eq);
+        return findEnvKnobByFlag(name.c_str());
+    }
+
+    static unsigned
+    parseCount(const char *what, const char *s, unsigned def)
+    {
+        if (!s)
+            return def;
+        char *end = nullptr;
+        long v = std::strtol(s, &end, 10);
+        if (end == s || *end != '\0' || v < 1)
+            fatal("%s must be a positive integer (got '%s')", what, s);
         return static_cast<unsigned>(v);
     }
 
@@ -231,6 +296,23 @@ struct BenchOptions {
     std::vector<std::string> extra_;
 };
 
+inline void
+banner(const char *what, const BenchOptions &o, bool show_jobs = true)
+{
+    std::printf("# PRISM reproduction: %s\n", what);
+    std::printf("# machine: 8 nodes x 4 procs, 8KB L1 / 32KB L2, "
+                "4KB pages, 64B lines\n");
+    std::printf("# scale: %s (PRISM_SCALE/--scale to change)",
+                scaleName(o.scale));
+    if (show_jobs)
+        std::printf("; jobs: %u (PRISM_JOBS/--jobs to change)", o.jobs);
+    if (o.frontend != FrontendKind::Exec) {
+        std::printf("; frontend: %s (%s)", frontendName(o.frontend),
+                    o.traceFile.c_str());
+    }
+    std::printf("\n\n");
+}
+
 /**
  * One run inside a bench report: which (app, policy, variant) the
  * attached RunReport describes.  `variant` distinguishes runs the
@@ -245,12 +327,14 @@ struct BenchRun {
 
 /**
  * Write a "prism.bench_report" JSON document: bench identity, scale,
- * and the full per-run reports.  Shares the run-report schema version
- * (each embedded run carries its own "schema" marker too).
+ * frontend, and the full per-run reports.  Shares the run-report
+ * schema version (each embedded run carries its own "schema" marker
+ * too).
  */
 inline void
 writeBenchReport(const std::string &path, const char *bench,
-                 AppScale scale, const std::vector<BenchRun> &runs)
+                 const BenchOptions &opts,
+                 const std::vector<BenchRun> &runs)
 {
     std::ofstream os(path);
     if (!os) {
@@ -262,7 +346,8 @@ writeBenchReport(const std::string &path, const char *bench,
     w.kv("schema", "prism.bench_report");
     w.kv("schemaVersion", kRunReportSchemaVersion);
     w.kv("bench", bench);
-    w.kv("scale", scaleName(scale));
+    w.kv("scale", scaleName(opts.scale));
+    w.kv("frontend", frontendName(opts.frontend));
     w.key("runs");
     w.beginArray();
     for (const BenchRun &r : runs) {
@@ -284,7 +369,7 @@ writeBenchReport(const std::string &path, const char *bench,
 /** Adapt a policy-sweep result vector to writeBenchReport(). */
 inline void
 writeSweepReport(const std::string &path, const char *bench,
-                 AppScale scale,
+                 const BenchOptions &opts,
                  const std::vector<ExperimentResult> &results)
 {
     std::vector<BenchRun> runs;
@@ -292,7 +377,7 @@ writeSweepReport(const std::string &path, const char *bench,
     for (const ExperimentResult &r : results)
         runs.push_back(BenchRun{r.app, policyName(r.policy), "",
                                 &r.report});
-    writeBenchReport(path, bench, scale, runs);
+    writeBenchReport(path, bench, opts, runs);
 }
 
 /** Write a single machine's run report (single-run benches). */

@@ -33,10 +33,9 @@ main(int argc, char **argv)
     using namespace prism::bench;
 
     const BenchOptions opts = BenchOptions::parse(argc, argv);
-    const unsigned jobs = opts.jobs;
     banner("Section 4.2 — cache-size sensitivity of the page-mode "
            "choice (LANUMA time / SCOMA time)",
-           jobs);
+           opts);
 
     const Shape shapes[] = {
         {"8KB/32KB (paper eval)", 8 * 1024, 32 * 1024},
@@ -55,8 +54,23 @@ main(int argc, char **argv)
     };
     std::vector<std::array<Cell, 2>> grid(apps.size());
     {
-        TaskPool pool(jobs);
+        // In record mode the shapes[0] SCOMA cell captures the app's
+        // trace; the other cells execute normally.  In replay mode
+        // every cell re-issues the recorded stream.
+        TaskPool pool(opts.jobs);
         for (std::size_t i = 0; i < apps.size(); ++i) {
+            const std::string trace_path =
+                opts.frontend == FrontendKind::Exec
+                    ? std::string()
+                    : tracePathFor(opts.traceFile, apps[i].name,
+                                   apps.size());
+            auto cellFrontend = [&](bool primary) {
+                if (opts.frontend == FrontendKind::Replay)
+                    return FrontendKind::Replay;
+                if (opts.frontend == FrontendKind::Record && primary)
+                    return FrontendKind::Record;
+                return FrontendKind::Exec;
+            };
             for (std::size_t j = 0; j < 2; ++j) {
                 MachineConfig scoma;
                 scoma.jobsIntra = opts.jobsIntra;
@@ -69,13 +83,19 @@ main(int argc, char **argv)
 
                 const AppSpec &app = apps[i];
                 Cell &cell = grid[i][j];
-                pool.submit([&cell, &app, scoma] {
+                RunSpec scoma_spec{.machine = scoma,
+                                   .frontend = cellFrontend(j == 0),
+                                   .traceFile = trace_path};
+                RunSpec lanuma_spec{.machine = lanuma,
+                                    .frontend = cellFrontend(false),
+                                    .traceFile = trace_path};
+                pool.submit([&cell, &app, scoma_spec] {
                     cell.scoma =
-                        runOnce(scoma, app, &cell.scomaReport);
+                        runOnce(scoma_spec, app, &cell.scomaReport);
                 });
-                pool.submit([&cell, &app, lanuma] {
+                pool.submit([&cell, &app, lanuma_spec] {
                     cell.lanuma =
-                        runOnce(lanuma, app, &cell.lanumaReport);
+                        runOnce(lanuma_spec, app, &cell.lanumaReport);
                 });
             }
         }
@@ -111,8 +131,8 @@ main(int argc, char **argv)
                                         &grid[i][j].lanumaReport});
             }
         }
-        writeBenchReport(opts.reportPath, "cache_sensitivity",
-                         opts.scale, runs);
+        writeBenchReport(opts.reportPath, "cache_sensitivity", opts,
+                         runs);
     }
     return 0;
 }

@@ -35,10 +35,9 @@ main(int argc, char **argv)
         return 0;
     }
 
-    const unsigned jobs = opts.jobs;
     banner("Figure 7 — execution time under different page modes, "
            "normalized to SCOMA",
-           jobs);
+           opts);
 
     const auto policies = paperPolicies();
     std::printf("%-12s", "Application");
@@ -50,7 +49,13 @@ main(int argc, char **argv)
     base.jobsIntra = opts.jobsIntra;
     base.protocol = opts.protocol;
     const auto &apps = opts.apps;
-    const auto results = runSweepsParallel(base, apps, policies, jobs);
+    const auto results =
+        runSweepsParallel(RunSpec{.machine = base,
+                                  .policies = policies,
+                                  .jobs = opts.jobs,
+                                  .frontend = opts.frontend,
+                                  .traceFile = opts.traceFile},
+                          apps);
     for (std::size_t a = 0; a < apps.size(); ++a) {
         const ExperimentResult *row = &results[a * policies.size()];
         const double scoma =
@@ -72,7 +77,7 @@ main(int argc, char **argv)
                 "2.8-4.6x);\n# adaptive policies within ~10%% of SCOMA "
                 "except Barnes/Ocean on Dyn-Util/Dyn-LRU.\n");
     if (opts.wantReport())
-        writeSweepReport(opts.reportPath, "fig7_exec_time", opts.scale,
+        writeSweepReport(opts.reportPath, "fig7_exec_time", opts,
                          results);
     return 0;
 }

@@ -82,6 +82,10 @@ main(int argc, char **argv)
     using namespace prism;
     using namespace prism::bench;
     const BenchOptions opts = BenchOptions::parse(argc, argv);
+    if (opts.frontend != FrontendKind::Exec) {
+        fatal("migration_ablation drives the machine directly and "
+              "supports only --frontend=exec");
+    }
     std::printf("# PRISM ablation: lazy page migration on a "
                 "phase-shifting workload\n");
     std::printf("# (%u pages, %u phases, ownership rotates across "
@@ -119,8 +123,8 @@ main(int argc, char **argv)
                                 &off_report});
         runs.push_back(BenchRun{"phased", "SCOMA", "migration-on",
                                 &on_report});
-        writeBenchReport(opts.reportPath, "migration_ablation",
-                         opts.scale, runs);
+        writeBenchReport(opts.reportPath, "migration_ablation", opts,
+                         runs);
     }
     return 0;
 }

@@ -27,10 +27,9 @@ main(int argc, char **argv)
     const bool with_ccnuma = opts.flag("--ccnuma");
     const bool with_dirhints = opts.flag("--dirhints");
 
-    const unsigned jobs = opts.jobs;
     banner("Section 4.3 — PIT in DRAM (10 cycles) vs SRAM (2 cycles), "
            "LANUMA configuration",
-           jobs);
+           opts);
 
     std::printf("%-12s %12s %12s %9s", "Application", "SRAM-PIT",
                 "DRAM-PIT", "slowdown");
@@ -49,7 +48,9 @@ main(int argc, char **argv)
     const auto &apps = opts.apps;
     std::vector<Row> rows(apps.size());
     {
-        TaskPool pool(jobs);
+        // Record mode captures the SRAM-PIT cell per app; replay mode
+        // re-issues the trace in every cell.
+        TaskPool pool(opts.jobs);
         for (std::size_t i = 0; i < apps.size(); ++i) {
             MachineConfig sram;
             sram.jobsIntra = opts.jobsIntra;
@@ -59,13 +60,31 @@ main(int argc, char **argv)
             MachineConfig dram = sram;
             dram.pitLatency = 10;
 
+            const std::string trace_path =
+                opts.frontend == FrontendKind::Exec
+                    ? std::string()
+                    : tracePathFor(opts.traceFile, apps[i].name,
+                                   apps.size());
+            auto cellSpec = [&](const MachineConfig &cfg,
+                                bool primary) {
+                FrontendKind f = FrontendKind::Exec;
+                if (opts.frontend == FrontendKind::Replay)
+                    f = FrontendKind::Replay;
+                else if (opts.frontend == FrontendKind::Record &&
+                         primary)
+                    f = FrontendKind::Record;
+                return RunSpec{.machine = cfg,
+                               .frontend = f,
+                               .traceFile = trace_path};
+            };
+
             const AppSpec &app = apps[i];
             Row &row = rows[i];
-            pool.submit([&row, &app, sram] {
-                row.sram = runOnce(sram, app, &row.sramReport);
+            pool.submit([&row, &app, spec = cellSpec(sram, true)] {
+                row.sram = runOnce(spec, app, &row.sramReport);
             });
-            pool.submit([&row, &app, dram] {
-                row.dram = runOnce(dram, app, &row.dramReport);
+            pool.submit([&row, &app, spec = cellSpec(dram, false)] {
+                row.dram = runOnce(spec, app, &row.dramReport);
             });
             if (with_dirhints) {
                 // Section 4.3's mitigation: client frame numbers
@@ -73,15 +92,15 @@ main(int argc, char **argv)
                 // from the invalidation path.
                 MachineConfig dh = dram;
                 dh.dirClientFrameHints = true;
-                pool.submit([&row, &app, dh] {
-                    row.hints = runOnce(dh, app, &row.hintsReport);
+                pool.submit([&row, &app, spec = cellSpec(dh, false)] {
+                    row.hints = runOnce(spec, app, &row.hintsReport);
                 });
             }
             if (with_ccnuma) {
                 MachineConfig cc = sram;
                 cc.ccNumaBypass = true;
-                pool.submit([&row, &app, cc] {
-                    row.ccnuma = runOnce(cc, app, &row.ccnumaReport);
+                pool.submit([&row, &app, spec = cellSpec(cc, false)] {
+                    row.ccnuma = runOnce(spec, app, &row.ccnumaReport);
                 });
             }
         }
@@ -140,8 +159,8 @@ main(int argc, char **argv)
                                         "CC-NUMA",
                                         &rows[i].ccnumaReport});
         }
-        writeBenchReport(opts.reportPath, "pit_sensitivity",
-                         opts.scale, runs);
+        writeBenchReport(opts.reportPath, "pit_sensitivity", opts,
+                         runs);
     }
     return 0;
 }

@@ -170,6 +170,10 @@ main(int argc, char **argv)
     using namespace prism;
     using namespace prism::bench;
     const BenchOptions opts = BenchOptions::parse(argc, argv);
+    if (opts.frontend != FrontendKind::Exec) {
+        fatal("table1_latency drives the machine directly and "
+              "supports only --frontend=exec");
+    }
     std::printf("# PRISM reproduction: Table 1 — cache miss latencies "
                 "and page fault overheads\n");
     std::printf("# (uncontended; processor cycles)\n\n");

@@ -17,7 +17,8 @@ main(int argc, char **argv)
     using namespace prism::bench;
 
     const BenchOptions opts = BenchOptions::parse(argc, argv);
-    banner("Table 3 — page consumption and utilization statistics");
+    banner("Table 3 — page consumption and utilization statistics",
+           opts);
 
     std::printf("%-12s %12s %12s %14s %14s\n", "Application",
                 "SCOMA", "LANUMA", "SCOMA util", "LANUMA util");
@@ -25,27 +26,21 @@ main(int argc, char **argv)
     MachineConfig base;
     base.jobsIntra = opts.jobsIntra;
     base.protocol = opts.protocol;
-    std::vector<RunReport> reports;
-    std::vector<BenchRun> runs;
-    reports.reserve(opts.apps.size() * 2);
-    for (const auto &app : opts.apps) {
-        MachineConfig scoma_cfg = base;
-        scoma_cfg.policy = PolicyKind::Scoma;
-        reports.emplace_back();
-        RunMetrics s = runOnce(scoma_cfg, app, &reports.back());
-        runs.push_back(BenchRun{app.name, policyName(PolicyKind::Scoma),
-                                "", &reports.back()});
-
-        MachineConfig lanuma_cfg = base;
-        lanuma_cfg.policy = PolicyKind::LaNuma;
-        reports.emplace_back();
-        RunMetrics l = runOnce(lanuma_cfg, app, &reports.back());
-        runs.push_back(BenchRun{app.name,
-                                policyName(PolicyKind::LaNuma), "",
-                                &reports.back()});
-
+    const std::vector<PolicyKind> policies = {PolicyKind::Scoma,
+                                              PolicyKind::LaNuma};
+    const auto &apps = opts.apps;
+    const auto results =
+        runSweepsParallel(RunSpec{.machine = base,
+                                  .policies = policies,
+                                  .jobs = opts.jobs,
+                                  .frontend = opts.frontend,
+                                  .traceFile = opts.traceFile},
+                          apps);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const RunMetrics &s = results[a * 2 + 0].metrics;
+        const RunMetrics &l = results[a * 2 + 1].metrics;
         std::printf("%-12s %12llu %12llu %14.3f %14.3f\n",
-                    app.name.c_str(),
+                    apps[a].name.c_str(),
                     static_cast<unsigned long long>(s.framesAllocated),
                     static_cast<unsigned long long>(l.framesAllocated),
                     s.avgUtilization, l.avgUtilization);
@@ -56,7 +51,7 @@ main(int argc, char **argv)
                 "has lower utilization (sparsely used replicated "
                 "pages).\n");
     if (opts.wantReport())
-        writeBenchReport(opts.reportPath, "table3_pages", opts.scale,
-                         runs);
+        writeSweepReport(opts.reportPath, "table3_pages", opts,
+                         results);
     return 0;
 }

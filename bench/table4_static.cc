@@ -17,10 +17,9 @@ main(int argc, char **argv)
     using namespace prism::bench;
 
     const BenchOptions opts = BenchOptions::parse(argc, argv);
-    const unsigned jobs = opts.jobs;
     banner("Table 4 — remote misses (static configs) and SCOMA-70 "
            "page-outs",
-           jobs);
+           opts);
 
     std::printf("%-12s %12s %12s %12s %12s\n", "Application", "SCOMA",
                 "LANUMA", "SCOMA-70", "PageOuts-70");
@@ -31,7 +30,13 @@ main(int argc, char **argv)
     const std::vector<PolicyKind> policies = {
         PolicyKind::Scoma, PolicyKind::LaNuma, PolicyKind::Scoma70};
     const auto &apps = opts.apps;
-    const auto results = runSweepsParallel(base, apps, policies, jobs);
+    const auto results =
+        runSweepsParallel(RunSpec{.machine = base,
+                                  .policies = policies,
+                                  .jobs = opts.jobs,
+                                  .frontend = opts.frontend,
+                                  .traceFile = opts.traceFile},
+                          apps);
     for (std::size_t a = 0; a < apps.size(); ++a) {
         const ExperimentResult *rs = &results[a * policies.size()];
         std::printf("%-12s %12llu %12llu %12llu %12llu\n",
@@ -50,7 +55,7 @@ main(int argc, char **argv)
                 "remote misses than SCOMA on\n# capacity-bound apps; "
                 "SCOMA-70 sits between them but pays page-outs.\n");
     if (opts.wantReport())
-        writeSweepReport(opts.reportPath, "table4_static", opts.scale,
+        writeSweepReport(opts.reportPath, "table4_static", opts,
                          results);
     return 0;
 }

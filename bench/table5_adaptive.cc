@@ -17,9 +17,8 @@ main(int argc, char **argv)
     using namespace prism::bench;
 
     const BenchOptions opts = BenchOptions::parse(argc, argv);
-    const unsigned jobs = opts.jobs;
     banner("Table 5 — remote misses and page-outs, adaptive configs",
-           jobs);
+           opts);
 
     std::printf("%-12s | %10s %10s %10s | %9s %9s\n", "Application",
                 "Dyn-FCFS", "Dyn-Util", "Dyn-LRU", "PO-Util", "PO-LRU");
@@ -30,7 +29,13 @@ main(int argc, char **argv)
     const std::vector<PolicyKind> policies = {
         PolicyKind::DynFcfs, PolicyKind::DynUtil, PolicyKind::DynLru};
     const auto &apps = opts.apps;
-    const auto results = runSweepsParallel(base, apps, policies, jobs);
+    const auto results =
+        runSweepsParallel(RunSpec{.machine = base,
+                                  .policies = policies,
+                                  .jobs = opts.jobs,
+                                  .frontend = opts.frontend,
+                                  .traceFile = opts.traceFile},
+                          apps);
     for (std::size_t a = 0; a < apps.size(); ++a) {
         const ExperimentResult *rs = &results[a * policies.size()];
         std::printf("%-12s | %10llu %10llu %10llu | %9llu %9llu\n",
@@ -51,7 +56,7 @@ main(int argc, char **argv)
                 "remote misses well below\n# LANUMA and page-outs far "
                 "below SCOMA-70 (Dyn-FCFS has none at all).\n");
     if (opts.wantReport())
-        writeSweepReport(opts.reportPath, "table5_adaptive", opts.scale,
+        writeSweepReport(opts.reportPath, "table5_adaptive", opts,
                          results);
     return 0;
 }

@@ -116,9 +116,11 @@ main(int argc, char **argv)
                 cfg.numNodes, cfg.procsPerNode, cfg.l1Bytes,
                 cfg.l2Bytes);
 
-    auto results =
-        runPolicySweep(cfg, spec, {PolicyKind::Scoma, policy},
-                       cap_pct / 100.0);
+    auto results = runPolicySweep(
+        RunSpec{.machine = cfg,
+                .policies = {PolicyKind::Scoma, policy},
+                .capFraction = cap_pct / 100.0},
+        spec);
     const RunMetrics &base = results[0].metrics;
     const RunMetrics &r = results[1].metrics;
 

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Strip a PRISM JSON report down to its deterministic core.
+
+Usage: strip_report.py <report.json>
+
+Prints the report with the keys that may legitimately differ between
+an execution and a replay of the same simulation removed:
+`generatedAt` (wall-clock timestamp) and the frontend-provenance
+fields `frontend`, `traceWorkload` and `traceOps` (run-report config
+and bench-report top level).  The output is canonical JSON, so two
+stripped reports are byte-comparable with `diff`/`cmp`; CI uses this
+for the replay-determinism check (docs/TRACE.md).
+"""
+
+import json
+import sys
+
+STRIP_KEYS = ("generatedAt", "frontend", "traceWorkload", "traceOps")
+
+
+def strip(doc):
+    if isinstance(doc, dict):
+        return {k: strip(v) for k, v in doc.items()
+                if k not in STRIP_KEYS}
+    if isinstance(doc, list):
+        return [strip(v) for v in doc]
+    return doc
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    with open(sys.argv[1]) as f:
+        doc = json.load(f)
+    json.dump(strip(doc), sys.stdout, indent=1, sort_keys=True)
+    print()
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,7 @@ Exits non-zero with a message on the first violation.
 import json
 import sys
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 RUN_REPORT_KEYS = [
     "schema", "schemaVersion", "generatedAt", "config", "phases",
@@ -22,9 +22,12 @@ RUN_REPORT_KEYS = [
 CONFIG_KEYS = [
     "numNodes", "procsPerNode", "policy", "protocol", "seed",
     "l1Bytes", "l2Bytes", "lineBytes", "migrationEnabled",
+    "frontend", "traceWorkload", "traceOps",
 ]
 
 PROTOCOLS = ("msi", "mesi", "moesi", "mesif")
+
+FRONTENDS = ("exec", "record", "replay")
 
 METRICS_KEYS = [
     "execCycles", "totalCycles", "remoteMisses", "clientPageOuts",
@@ -62,6 +65,13 @@ def check_run_report(r, where):
     require(r["config"]["protocol"] in PROTOCOLS,
             f"{where}: unknown protocol "
             f"{r['config']['protocol']!r}")
+    require(r["config"]["frontend"] in FRONTENDS,
+            f"{where}: unknown frontend "
+            f"{r['config']['frontend']!r}")
+    if r["config"]["frontend"] != "exec":
+        require(r["config"]["traceOps"] > 0,
+                f"{where}: {r['config']['frontend']} run with "
+                f"traceOps == 0")
     for k in METRICS_KEYS:
         require(k in r["metrics"], f"{where}: metrics missing '{k}'")
 
@@ -118,8 +128,10 @@ def main():
     if schema == "prism.bench_report":
         require(doc.get("schemaVersion") == SCHEMA_VERSION,
                 f"bench schemaVersion != {SCHEMA_VERSION}")
-        for k in ("bench", "scale", "runs"):
+        for k in ("bench", "scale", "frontend", "runs"):
             require(k in doc, f"bench report missing '{k}'")
+        require(doc["frontend"] in FRONTENDS,
+                f"bench report: unknown frontend {doc['frontend']!r}")
         require(len(doc["runs"]) > 0, "bench report has no runs")
         for i, run in enumerate(doc["runs"]):
             for k in ("app", "policy", "report"):

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "check/oracle.hh"
+#include "core/env.hh"
 #include "obs/trace_sink.hh"
 #include "sim/stats.hh"
 #include <cstdlib>
@@ -14,9 +15,9 @@ namespace {
 // statics are const after their (thread-safe, C++11 magic-static)
 // initialization, so concurrent Machines may call this freely.
 bool traceMatch(GPage gp, std::uint32_t li) {
-    static const char *const env = std::getenv("PRISM_TRACE_GPAGE");
+    static const char *const env = resolveEnv("PRISM_TRACE_GPAGE");
     static const unsigned long long g = env ? strtoull(env, nullptr, 16) : 0;
-    static const char *const env2 = std::getenv("PRISM_TRACE_LI");
+    static const char *const env2 = resolveEnv("PRISM_TRACE_LI");
     static const unsigned long long l =
         env2 ? strtoull(env2, nullptr, 10) : ~0ULL;
     return env && gp == g && (l == ~0ULL || li == l);

@@ -1,0 +1,107 @@
+#include "core/env.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace prism {
+
+namespace {
+
+// clang-format off
+const EnvKnob kKnobs[] = {
+    {"PRISM_SCALE", "--scale", "paper|small|tiny", "paper",
+     "application problem-size preset"},
+    {"PRISM_APPS", "--apps", "comma-separated name substrings", "all eight",
+     "application filter (e.g. Water selects both Water variants)"},
+    {"PRISM_JOBS", "--jobs", "N >= 1", "hardware threads",
+     "worker threads for the parallel sweep runner"},
+    {"PRISM_JOBS_INTRA", "--jobs-intra", "N >= 1", "1",
+     "event-loop shards inside each simulation"},
+    {"PRISM_PROTOCOL", "--protocol", "msi|mesi|moesi|mesif", "mesi",
+     "intra-node line protocol (docs/PROTOCOL.md)"},
+    {"PRISM_FRONTEND", "--frontend", "exec|record|replay", "exec",
+     "reference-stream frontend (docs/TRACE.md)"},
+    {"PRISM_TRACE_FILE", "--trace-file", "path[.ptrace]", "unset",
+     "trace file for --frontend=record/replay"},
+    {"PRISM_ORACLE", nullptr, "off|quiescent|continuous", "off",
+     "runtime protocol-invariant checker (forces sequential)"},
+    {"PRISM_TRACE", nullptr, "path", "unset",
+     "Chrome trace-event sink (forces sequential)"},
+    {"PRISM_TRACE_GPAGE", nullptr, "global page number", "unset",
+     "message-log filter: only this global page"},
+    {"PRISM_TRACE_LI", nullptr, "line index", "unset",
+     "message-log filter: only this line index"},
+    {"PRISM_PROPERTY_SEED", nullptr, "N", "per-suite",
+     "(tests) seed for property/fuzz suites"},
+    {"PRISM_FUZZ_PROTOCOL", nullptr, "msi|mesi|moesi|mesif", "sweep",
+     "(tests) pin the fuzzer to one line protocol"},
+    {"PRISM_UPDATE_GOLDEN", nullptr, "any value", "unset",
+     "(tests) regenerate committed golden files"},
+};
+// clang-format on
+
+constexpr std::size_t kNumKnobs = sizeof(kKnobs) / sizeof(kKnobs[0]);
+
+} // namespace
+
+const EnvKnob *
+envKnobs(std::size_t *count)
+{
+    *count = kNumKnobs;
+    return kKnobs;
+}
+
+const EnvKnob *
+findEnvKnob(const char *env)
+{
+    for (const EnvKnob &k : kKnobs) {
+        if (!std::strcmp(k.env, env))
+            return &k;
+    }
+    return nullptr;
+}
+
+const EnvKnob *
+findEnvKnobByFlag(const char *flag)
+{
+    for (const EnvKnob &k : kKnobs) {
+        if (k.flag && !std::strcmp(k.flag, flag))
+            return &k;
+    }
+    return nullptr;
+}
+
+const char *
+resolveEnv(const char *env)
+{
+    if (!findEnvKnob(env)) {
+        panic("environment variable '%s' is not in the PRISM knob "
+              "registry (core/env.cc); register it so --help and the "
+              "flag > env > default rule stay complete",
+              env);
+    }
+    return std::getenv(env);
+}
+
+std::string
+envHelpTable()
+{
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line), "  %-18s %-13s %-34s %s\n",
+                  "environment", "flag", "values", "default");
+    out += line;
+    for (const EnvKnob &k : kKnobs) {
+        std::snprintf(line, sizeof(line), "  %-18s %-13s %-34s %s\n",
+                      k.env, k.flag ? k.flag : "-", k.values, k.def);
+        out += line;
+        std::snprintf(line, sizeof(line), "  %-18s   %s\n", "", k.help);
+        out += line;
+    }
+    return out;
+}
+
+} // namespace prism

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The PRISM_* environment-knob registry.
+ *
+ * Every environment variable the simulator, benches or tests consult
+ * is declared once in the table returned by envKnobs(); resolveEnv()
+ * is the only sanctioned way to read one.  Reading an unregistered
+ * name panics, so a knob cannot be added without also appearing in
+ * the generated `--help` table (envHelpTable()) and the precedence
+ * rule (flag > env > default) that BenchOptions implements on top of
+ * this registry.
+ */
+
+#ifndef PRISM_CORE_ENV_HH
+#define PRISM_CORE_ENV_HH
+
+#include <cstddef>
+#include <string>
+
+namespace prism {
+
+/** One registered PRISM_* knob. */
+struct EnvKnob {
+    const char *env;    //!< environment variable name
+    const char *flag;   //!< CLI flag spelling, nullptr if env-only
+    const char *values; //!< accepted values, human-readable
+    const char *def;    //!< default, human-readable
+    const char *help;   //!< one-line description
+};
+
+/** The registry: every PRISM_* variable the code base reads. */
+const EnvKnob *envKnobs(std::size_t *count);
+
+/** Registry entry for @p env, or nullptr. */
+const EnvKnob *findEnvKnob(const char *env);
+
+/** Registry entry whose CLI flag is @p flag, or nullptr. */
+const EnvKnob *findEnvKnobByFlag(const char *flag);
+
+/**
+ * getenv() restricted to registered knobs: panics when @p env is not
+ * in the registry (the variable would otherwise silently bypass the
+ * --help table and the flag > env > default precedence rule).
+ */
+const char *resolveEnv(const char *env);
+
+/** The generated knob table for `--help` (env, flag, values, default). */
+std::string envHelpTable();
+
+} // namespace prism
+
+#endif // PRISM_CORE_ENV_HH

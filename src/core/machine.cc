@@ -5,6 +5,8 @@
 #include <string>
 
 #include "check/oracle.hh"
+#include "core/env.hh"
+#include "frontend/ref_sink.hh"
 #include "obs/trace_sink.hh"
 
 namespace prism {
@@ -13,7 +15,7 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
 {
     prism_assert(cfg_.numNodes >= 1 && cfg_.numNodes <= 64,
                  "node count must be in [1, 64]");
-    if (const char *env = std::getenv("PRISM_ORACLE")) {
+    if (const char *env = resolveEnv("PRISM_ORACLE")) {
         OracleMode om;
         if (!oracleModeFromString(env, &om)) {
             fatal("unknown PRISM_ORACLE '%s' (valid: off quiescent "
@@ -21,7 +23,7 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
         }
         cfg_.oracleMode = om;
     }
-    if (const char *env = std::getenv("PRISM_PROTOCOL")) {
+    if (const char *env = resolveEnv("PRISM_PROTOCOL")) {
         ProtocolScheme ps;
         if (!protocolFromString(env, &ps)) {
             fatal("unknown PRISM_PROTOCOL '%s' (valid: msi mesi moesi "
@@ -43,7 +45,7 @@ Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
             seq_only = "the protocol oracle";
         else if (cfg_.netJitterMax > 0)
             seq_only = "network delivery jitter";
-        else if (std::getenv("PRISM_TRACE"))
+        else if (resolveEnv("PRISM_TRACE"))
             seq_only = "PRISM_TRACE";
         if (seq_only) {
             inform("jobsIntra=%u ignored: %s requires the sequential "
@@ -214,14 +216,27 @@ Machine::route(Msg &&m)
 std::uint64_t
 Machine::shmget(std::uint64_t key, std::uint64_t bytes)
 {
-    return ipc_.shmget(key, bytes);
+    const std::uint64_t gsid = ipc_.shmget(key, bytes);
+    if (refSink_)
+        refSink_->segGet(key, bytes, gsid);
+    return gsid;
 }
 
 void
 Machine::shmatAll(std::uint64_t vsid, std::uint64_t gsid)
 {
+    if (refSink_)
+        refSink_->segAttach(vsid, gsid);
     for (auto &n : nodes_)
         n->kernel().bindSegment(vsid, gsid);
+}
+
+void
+Machine::setRefSink(RefSink *s)
+{
+    refSink_ = s;
+    for (ProcId p = 0; p < numProcs(); ++p)
+        proc(p).setRefSink(s);
 }
 
 void

@@ -35,6 +35,7 @@
 namespace prism {
 
 class ProtocolOracle;
+class RefSink;
 class TraceSink;
 
 /**
@@ -132,6 +133,13 @@ class Machine
 
     /** Protocol oracle; nullptr when oracleMode is Off. */
     ProtocolOracle *oracle() { return oracle_.get(); }
+
+    /**
+     * Attach (or with nullptr detach) a reference-stream recorder:
+     * segment setup calls report here, and every processor's program
+     * interface is hooked (frontend/ref_sink.hh).
+     */
+    void setRefSink(RefSink *s);
 
     Node &node(NodeId n) { return *nodes_[n]; }
     std::uint32_t numNodes() const
@@ -251,6 +259,7 @@ class Machine
     std::unique_ptr<PagePolicy> policy_;
     std::vector<std::unique_ptr<Node>> nodes_;
     std::unique_ptr<ProtocolOracle> oracle_;
+    RefSink *refSink_ = nullptr;
     MetricRegistry registry_;
     std::unique_ptr<TraceSink> trace_;
     /** Worker threads for shards 1..N-1 (null in sequential mode). */

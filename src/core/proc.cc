@@ -322,6 +322,8 @@ Proc::enqueueSyncOp(std::uint8_t kind, std::uint64_t id,
 CoTask
 Proc::barrier(std::uint64_t id)
 {
+    if (refSink_)
+        refSink_->sync(id_, RefOp::Barrier, id);
     co_await flushTime();
     if (shard_)
         co_await DeferredSyncAwaiter{*this, SyncOp::BarrierArrive, id};
@@ -332,6 +334,8 @@ Proc::barrier(std::uint64_t id)
 CoTask
 Proc::lock(std::uint64_t id)
 {
+    if (refSink_)
+        refSink_->sync(id_, RefOp::Lock, id);
     co_await flushTime();
     if (shard_)
         co_await DeferredSyncAwaiter{*this, SyncOp::LockAcquire, id};
@@ -342,6 +346,8 @@ Proc::lock(std::uint64_t id)
 CoTask
 Proc::unlock(std::uint64_t id)
 {
+    if (refSink_)
+        refSink_->sync(id_, RefOp::Unlock, id);
     co_await flushTime();
     if (shard_)
         enqueueSyncOp(SyncOp::LockRelease, id, {}); // no suspension
@@ -350,8 +356,18 @@ Proc::unlock(std::uint64_t id)
 }
 
 CoTask
+Proc::fence()
+{
+    if (refSink_)
+        refSink_->sync(id_, RefOp::Fence, 0);
+    return flushTime();
+}
+
+CoTask
 Proc::beginParallel()
 {
+    if (refSink_)
+        refSink_->sync(id_, RefOp::BeginParallel, 0);
     co_await flushTime();
     if (shard_)
         co_await DeferredSyncAwaiter{*this, SyncOp::MarkBegin, 0};
@@ -362,6 +378,8 @@ Proc::beginParallel()
 CoTask
 Proc::endParallel()
 {
+    if (refSink_)
+        refSink_->sync(id_, RefOp::EndParallel, 0);
     co_await flushTime();
     if (shard_)
         co_await DeferredSyncAwaiter{*this, SyncOp::MarkEnd, 0};

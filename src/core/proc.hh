@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "core/config.hh"
+#include "frontend/ref_sink.hh"
 #include "mem/addr.hh"
 #include "mem/cache.hh"
 #include "mem/tlb.hh"
@@ -74,6 +75,8 @@ class Proc
     void
     compute(Cycles cycles)
     {
+        if (refSink_)
+            refSink_->compute(id_, cycles);
         pendingCycles_ += cycles;
         stats_.computeCycles += cycles;
     }
@@ -82,6 +85,8 @@ class Proc
     auto
     read(VAddr va)
     {
+        if (refSink_)
+            refSink_->access(id_, va, false);
         return AccessAwaiter{*this, va, false};
     }
 
@@ -89,6 +94,8 @@ class Proc
     auto
     write(VAddr va)
     {
+        if (refSink_)
+            refSink_->access(id_, va, true);
         return AccessAwaiter{*this, va, true};
     }
 
@@ -105,7 +112,7 @@ class Proc
      * Drain locally accumulated cycles into the global clock
      * (measurement fence for latency microbenchmarks).
      */
-    CoTask fence() { return flushTime(); }
+    CoTask fence();
 
     /** Mark the start of the measured parallel phase (call once). */
     CoTask beginParallel();
@@ -147,6 +154,13 @@ class Proc
 
     /** Attach the protocol oracle (Machine construction). */
     void setOracle(ProtocolOracle *o) { oracle_ = o; }
+
+    /**
+     * Attach/detach a reference-stream recorder (Machine::setRefSink).
+     * Null (the default) keeps the program-interface hooks to a single
+     * predicted-not-taken branch.
+     */
+    void setRefSink(RefSink *s) { refSink_ = s; }
 
     /**
      * Sharded scheduler: bind this processor to its node's shard and
@@ -217,6 +231,7 @@ class Proc
     Node &node_;
     Machine &machine_;
     ProtocolOracle *oracle_ = nullptr;
+    RefSink *refSink_ = nullptr;    //!< non-null only when recording
     MachineShard *shard_ = nullptr; //!< non-null only when sharded
     SyncActor actor_;               //!< rank/seq for deterministic sync
     const MachineConfig &cfg_;

@@ -1,0 +1,52 @@
+#include "frontend/frontend.hh"
+
+#include <cstring>
+
+namespace prism {
+
+const char *
+frontendName(FrontendKind k)
+{
+    switch (k) {
+      case FrontendKind::Exec: return "exec";
+      case FrontendKind::Record: return "record";
+      case FrontendKind::Replay: return "replay";
+    }
+    return "?";
+}
+
+bool
+frontendFromString(const char *s, FrontendKind *out)
+{
+    if (!std::strcmp(s, "exec"))
+        *out = FrontendKind::Exec;
+    else if (!std::strcmp(s, "record"))
+        *out = FrontendKind::Record;
+    else if (!std::strcmp(s, "replay"))
+        *out = FrontendKind::Replay;
+    else
+        return false;
+    return true;
+}
+
+std::string
+tracePathFor(const std::string &base, const std::string &app,
+             std::size_t num_apps)
+{
+    if (base.empty())
+        return base; // callers report the missing --trace-file
+    if (num_apps <= 1 && base.back() != '/')
+        return base;
+    if (!base.empty() && base.back() == '/')
+        return base + app + ".ptrace";
+    const std::string suffix = ".ptrace";
+    if (base.size() > suffix.size() &&
+        base.compare(base.size() - suffix.size(), suffix.size(),
+                     suffix) == 0) {
+        return base.substr(0, base.size() - suffix.size()) + "." + app +
+               suffix;
+    }
+    return base + "." + app + suffix;
+}
+
+} // namespace prism

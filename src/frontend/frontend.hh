@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Frontend selection: where a run's reference stream comes from.
+ *
+ *   exec    execute the workload coroutines (the default)
+ *   record  execute, and additionally capture the calibration run's
+ *           stream to a .ptrace file
+ *   replay  skip workload execution entirely and re-issue a recorded
+ *           stream through the simulator
+ *
+ * See docs/TRACE.md for the determinism contract and the
+ * record-once / sweep-many recipe.
+ */
+
+#ifndef PRISM_FRONTEND_FRONTEND_HH
+#define PRISM_FRONTEND_FRONTEND_HH
+
+#include <string>
+
+namespace prism {
+
+enum class FrontendKind { Exec, Record, Replay };
+
+const char *frontendName(FrontendKind k);
+
+/** @retval false when @p s names no frontend. */
+bool frontendFromString(const char *s, FrontendKind *out);
+
+/**
+ * The .ptrace path for @p app under a bench's --trace-file argument
+ * @p base.  With a single selected app the base is used verbatim;
+ * with several, each app gets its own file: a trailing '/' appends
+ * "<app>.ptrace", a ".ptrace" suffix becomes ".<app>.ptrace", and
+ * anything else gets ".<app>.ptrace" appended.
+ */
+std::string tracePathFor(const std::string &base,
+                         const std::string &app, std::size_t num_apps);
+
+} // namespace prism
+
+#endif // PRISM_FRONTEND_FRONTEND_HH

@@ -1,0 +1,380 @@
+#include "frontend/ptrace.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace prism {
+
+namespace {
+
+const char kMagic[8] = {'P', 'R', 'S', 'M', 'T', 'R', 'C', '\n'};
+constexpr std::uint8_t kTrailerMark = 0xE7;
+constexpr std::size_t kTrailerBytes = 1 + 8; // mark + u64le checksum
+
+// Opcode byte: kind in the low nibble, small immediate in the high
+// nibble.  Immediates 0..14 are inline; 15 flags a following varint.
+constexpr std::uint8_t kSmallMax = 14;
+constexpr std::uint8_t kSmallEscape = 15;
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t u)
+{
+    return static_cast<std::int64_t>(u >> 1) ^
+           -static_cast<std::int64_t>(u & 1);
+}
+
+void
+putVarint(std::string &buf, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        buf.push_back(static_cast<char>((v & 0x7F) | 0x80));
+        v >>= 7;
+    }
+    buf.push_back(static_cast<char>(v));
+}
+
+std::uint64_t
+fnv1a(const char *data, std::size_t n)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= static_cast<std::uint8_t>(data[i]);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Bounds-checked cursor over a serialized trace. */
+struct Cursor {
+    const std::string &buf;
+    std::size_t pos = 0;
+    const std::string &what;
+
+    [[noreturn]] void
+    die(const char *defect) const
+    {
+        fatal("%s: truncated trace (%s at byte %zu of %zu)",
+              what.c_str(), defect, pos, buf.size());
+    }
+
+    std::uint8_t
+    u8()
+    {
+        if (pos >= buf.size())
+            die("byte expected");
+        return static_cast<std::uint8_t>(buf[pos++]);
+    }
+
+    std::uint64_t
+    varint()
+    {
+        std::uint64_t v = 0;
+        unsigned shift = 0;
+        while (true) {
+            if (pos >= buf.size())
+                die("varint continues past end");
+            const std::uint8_t b =
+                static_cast<std::uint8_t>(buf[pos++]);
+            if (shift >= 64)
+                die("varint wider than 64 bits");
+            v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+            if (!(b & 0x80))
+                return v;
+            shift += 7;
+        }
+    }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = varint();
+        if (n > buf.size() - pos)
+            die("string runs past end");
+        std::string s = buf.substr(pos, n);
+        pos += n;
+        return s;
+    }
+};
+
+} // namespace
+
+// --- StreamWriter ------------------------------------------------------
+
+void
+StreamWriter::emit(RefOp op, std::uint64_t value)
+{
+    ++ops_;
+    const auto kind = static_cast<std::uint8_t>(op);
+    if (value <= kSmallMax) {
+        buf_.push_back(static_cast<char>(
+            kind | static_cast<std::uint8_t>(value << 4)));
+    } else {
+        buf_.push_back(static_cast<char>(kind | (kSmallEscape << 4)));
+        putVarint(buf_, value);
+    }
+}
+
+void
+StreamWriter::access(VAddr va, bool write)
+{
+    const std::uint64_t delta = zigzag(
+        static_cast<std::int64_t>(va.raw - lastAddr_));
+    lastAddr_ = va.raw;
+    emit(write ? RefOp::Store : RefOp::Load, delta);
+}
+
+void
+StreamWriter::compute(Cycles cycles)
+{
+    emit(RefOp::Compute, cycles);
+}
+
+void
+StreamWriter::sync(RefOp op, std::uint64_t id)
+{
+    emit(op, id);
+}
+
+// --- StreamReader ------------------------------------------------------
+
+StreamReader::StreamReader(const std::string &bytes,
+                           std::uint64_t op_count, std::string what)
+    : buf_(bytes), remaining_(op_count), what_(std::move(what))
+{
+}
+
+bool
+StreamReader::next(TraceOp *out)
+{
+    if (remaining_ == 0) {
+        if (pos_ != buf_.size()) {
+            fatal("%s: %zu trailing bytes after the last op",
+                  what_.c_str(), buf_.size() - pos_);
+        }
+        return false;
+    }
+    Cursor c{buf_, pos_, what_};
+    const std::uint8_t b = c.u8();
+    const std::uint8_t kind = b & 0x0F;
+    const std::uint8_t small = b >> 4;
+    if (kind >= kNumRefOps)
+        fatal("%s: invalid opcode %u at byte %zu", what_.c_str(),
+              unsigned{kind}, c.pos - 1);
+    std::uint64_t value = small;
+    if (small == kSmallEscape)
+        value = c.varint();
+    pos_ = c.pos;
+    --remaining_;
+
+    out->op = static_cast<RefOp>(kind);
+    if (out->op == RefOp::Load || out->op == RefOp::Store) {
+        lastAddr_ = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(lastAddr_) + unzigzag(value));
+        out->value = lastAddr_;
+    } else {
+        out->value = value;
+    }
+    return true;
+}
+
+// --- RecordedTrace -----------------------------------------------------
+
+std::uint64_t
+RecordedTrace::totalOps() const
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t c : opCounts)
+        n += c;
+    return n;
+}
+
+std::uint64_t
+RecordedTrace::encodedBytes() const
+{
+    std::uint64_t n = 0;
+    for (const std::string &s : streams)
+        n += s.size();
+    return n;
+}
+
+std::string
+RecordedTrace::serialize() const
+{
+    prism_assert(streams.size() == numProcs &&
+                     opCounts.size() == numProcs,
+                 "trace has %zu streams / %zu op counts for %u procs",
+                 streams.size(), opCounts.size(), numProcs);
+    std::string out(kMagic, sizeof(kMagic));
+    for (unsigned i = 0; i < 4; ++i)
+        out.push_back(
+            static_cast<char>((kPtraceVersion >> (8 * i)) & 0xFF));
+
+    putVarint(out, workload.size());
+    out += workload;
+    putVarint(out, sizeDesc.size());
+    out += sizeDesc;
+    putVarint(out, seed);
+    putVarint(out, numProcs);
+    putVarint(out, lineBytes);
+    putVarint(out, segments.size());
+    for (const SegmentOp &s : segments) {
+        out.push_back(static_cast<char>(s.kind));
+        putVarint(out, s.a);
+        putVarint(out, s.b);
+        putVarint(out, s.c);
+    }
+    for (std::uint64_t c : opCounts)
+        putVarint(out, c);
+    for (const std::string &s : streams) {
+        const std::uint64_t chunks =
+            (s.size() + kPtraceChunkBytes - 1) / kPtraceChunkBytes;
+        putVarint(out, chunks);
+        for (std::size_t off = 0; off < s.size();
+             off += kPtraceChunkBytes) {
+            const std::size_t len =
+                std::min(kPtraceChunkBytes, s.size() - off);
+            putVarint(out, len);
+            out.append(s, off, len);
+        }
+        if (s.empty())
+            prism_assert(chunks == 0, "empty stream with chunks");
+    }
+
+    const std::uint64_t sum =
+        fnv1a(out.data() + sizeof(kMagic), out.size() - sizeof(kMagic));
+    out.push_back(static_cast<char>(kTrailerMark));
+    for (unsigned i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((sum >> (8 * i)) & 0xFF));
+    return out;
+}
+
+std::shared_ptr<const RecordedTrace>
+RecordedTrace::deserialize(const std::string &bytes,
+                           const std::string &what)
+{
+    if (bytes.size() < sizeof(kMagic) + 4 + kTrailerBytes)
+        fatal("%s: not a .ptrace file (only %zu bytes)", what.c_str(),
+              bytes.size());
+    if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+        fatal("%s: bad magic (not a .ptrace file)", what.c_str());
+    std::uint32_t version = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        version |= static_cast<std::uint32_t>(
+                       static_cast<std::uint8_t>(bytes[8 + i]))
+                   << (8 * i);
+    }
+    if (version != kPtraceVersion) {
+        fatal("%s: unsupported .ptrace version %u (this build reads "
+              "version %u; re-record the trace)",
+              what.c_str(), version, kPtraceVersion);
+    }
+
+    const std::size_t body = bytes.size() - kTrailerBytes;
+    if (static_cast<std::uint8_t>(bytes[body]) != kTrailerMark)
+        fatal("%s: missing end-of-trace marker (file truncated?)",
+              what.c_str());
+    std::uint64_t want = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        want |= static_cast<std::uint64_t>(
+                    static_cast<std::uint8_t>(bytes[body + 1 + i]))
+                << (8 * i);
+    }
+    const std::uint64_t got = fnv1a(bytes.data() + sizeof(kMagic),
+                                    body - sizeof(kMagic));
+    if (got != want) {
+        fatal("%s: checksum mismatch (file corrupt: stored %016llx, "
+              "computed %016llx)",
+              what.c_str(), static_cast<unsigned long long>(want),
+              static_cast<unsigned long long>(got));
+    }
+
+    auto t = std::make_shared<RecordedTrace>();
+    // Parse only the checksummed body so a valid checksum implies a
+    // clean parse up to `body`.
+    const std::string view = bytes.substr(0, body);
+    Cursor c{view, sizeof(kMagic) + 4, what};
+    t->workload = c.str();
+    t->sizeDesc = c.str();
+    t->seed = c.varint();
+    const std::uint64_t nprocs = c.varint();
+    if (nprocs == 0 || nprocs > 4096)
+        fatal("%s: implausible processor count %llu", what.c_str(),
+              static_cast<unsigned long long>(nprocs));
+    t->numProcs = static_cast<std::uint32_t>(nprocs);
+    t->lineBytes = static_cast<std::uint32_t>(c.varint());
+    const std::uint64_t nsegs = c.varint();
+    for (std::uint64_t i = 0; i < nsegs; ++i) {
+        SegmentOp s;
+        s.kind = c.u8();
+        if (s.kind > SegmentOp::Attach)
+            fatal("%s: unknown segment-op kind %u", what.c_str(),
+                  unsigned{s.kind});
+        s.a = c.varint();
+        s.b = c.varint();
+        s.c = c.varint();
+        t->segments.push_back(s);
+    }
+    t->opCounts.resize(t->numProcs);
+    for (std::uint32_t p = 0; p < t->numProcs; ++p)
+        t->opCounts[p] = c.varint();
+    t->streams.resize(t->numProcs);
+    for (std::uint32_t p = 0; p < t->numProcs; ++p) {
+        const std::uint64_t chunks = c.varint();
+        std::string &s = t->streams[p];
+        for (std::uint64_t i = 0; i < chunks; ++i) {
+            const std::uint64_t len = c.varint();
+            if (len > kPtraceChunkBytes)
+                fatal("%s: oversized chunk (%llu bytes)", what.c_str(),
+                      static_cast<unsigned long long>(len));
+            if (len > view.size() - c.pos)
+                c.die("chunk runs past end");
+            s.append(view, c.pos, len);
+            c.pos += len;
+        }
+    }
+    if (c.pos != body)
+        fatal("%s: %zu unparsed bytes before the trailer",
+              what.c_str(), body - c.pos);
+    return t;
+}
+
+void
+RecordedTrace::writeFile(const std::string &path) const
+{
+    const std::string bytes = serialize();
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    if (!os)
+        fatal("short write to trace file '%s'", path.c_str());
+}
+
+std::shared_ptr<const RecordedTrace>
+RecordedTrace::readFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        fatal("cannot open trace file '%s' (record it first with "
+              "--frontend=record --trace-file)",
+              path.c_str());
+    }
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return deserialize(ss.str(), path);
+}
+
+} // namespace prism

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The .ptrace on-disk reference-trace format.
+ *
+ * A trace holds one recorded run: a versioned header (workload name,
+ * size description, seed, processor count, line size, the segment
+ * setup calls) and one compressed op stream per processor.  Streams
+ * are byte-oriented: each op is one opcode byte — kind in the low
+ * nibble, a small immediate in the high nibble — optionally followed
+ * by a LEB128 varint when the immediate does not fit in 4 bits.
+ * Access addresses are zigzag-delta encoded against the processor's
+ * previous access, which together with the varint packing compresses
+ * the streams several-fold without any external codec.
+ *
+ * File layout (all multi-byte scalars varint unless noted):
+ *
+ *   magic "PRSMTRC\n" (8 bytes)
+ *   u32le  version                    (kPtraceVersion)
+ *   string workload, string sizeDesc  (varint length + bytes)
+ *   varint seed, numProcs, lineBytes
+ *   varint segmentOpCount; per op: u8 kind, varint a, b, c
+ *   varint opCount[p] for each proc
+ *   per proc: varint chunkCount; per chunk: varint len, raw bytes
+ *             (chunks are <= kPtraceChunkBytes)
+ *   u8 0xE7, u64le FNV-1a checksum over everything after the magic
+ *
+ * Readers fail fast with a clear fatal() on bad magic, unsupported
+ * version, truncation, or checksum mismatch.
+ */
+
+#ifndef PRISM_FRONTEND_PTRACE_HH
+#define PRISM_FRONTEND_PTRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/ref_sink.hh"
+
+namespace prism {
+
+constexpr std::uint32_t kPtraceVersion = 1;
+constexpr std::size_t kPtraceChunkBytes = 64 * 1024;
+
+/** One decoded stream operation. */
+struct TraceOp {
+    RefOp op{};
+    /** Absolute address (Load/Store), cycles (Compute), or id. */
+    std::uint64_t value = 0;
+
+    bool
+    operator==(const TraceOp &o) const
+    {
+        return op == o.op && value == o.value;
+    }
+};
+
+/** A recorded Machine::shmget / Machine::shmatAll call, in order. */
+struct SegmentOp {
+    enum Kind : std::uint8_t { Get = 0, Attach = 1 };
+    std::uint8_t kind = Get;
+    std::uint64_t a = 0; //!< Get: key;   Attach: vsid
+    std::uint64_t b = 0; //!< Get: bytes; Attach: gsid
+    std::uint64_t c = 0; //!< Get: returned gsid
+};
+
+/** Append-only encoder for one processor's op stream. */
+class StreamWriter
+{
+  public:
+    void access(VAddr va, bool write);
+    void compute(Cycles cycles);
+    void sync(RefOp op, std::uint64_t id);
+
+    std::uint64_t opCount() const { return ops_; }
+    const std::string &bytes() const { return buf_; }
+    std::string takeBytes() { return std::move(buf_); }
+
+  private:
+    void emit(RefOp op, std::uint64_t value);
+
+    std::string buf_;
+    std::uint64_t ops_ = 0;
+    std::uint64_t lastAddr_ = 0;
+};
+
+/** Sequential decoder over one processor's encoded stream. */
+class StreamReader
+{
+  public:
+    /**
+     * @p what names the stream in decode-error messages (e.g.
+     * "proc 3 of fixture.ptrace").
+     */
+    StreamReader(const std::string &bytes, std::uint64_t op_count,
+                 std::string what);
+
+    /** @retval false when the stream is exhausted. */
+    bool next(TraceOp *out);
+
+    std::uint64_t remaining() const { return remaining_; }
+
+  private:
+    const std::string &buf_;
+    std::size_t pos_ = 0;
+    std::uint64_t remaining_;
+    std::uint64_t lastAddr_ = 0;
+    std::string what_;
+};
+
+/** A complete recorded run: header plus per-proc encoded streams. */
+struct RecordedTrace {
+    std::string workload;
+    std::string sizeDesc;
+    std::uint64_t seed = 0;
+    std::uint32_t numProcs = 0;
+    std::uint32_t lineBytes = 0;
+    std::vector<SegmentOp> segments;
+    std::vector<std::uint64_t> opCounts; //!< per proc
+    std::vector<std::string> streams;    //!< per proc, encoded
+
+    std::uint64_t totalOps() const;
+
+    /** Encoded payload size over every proc, bytes. */
+    std::uint64_t encodedBytes() const;
+
+    /** Serialize to @p path; fatal() when the file cannot be written. */
+    void writeFile(const std::string &path) const;
+
+    /**
+     * Load @p path, validating magic, version and checksum; any
+     * malformation is a fatal() naming the file and the defect.
+     */
+    static std::shared_ptr<const RecordedTrace>
+    readFile(const std::string &path);
+
+    /** Serialize to bytes (writeFile without the filesystem). */
+    std::string serialize() const;
+
+    /** Parse @p bytes; @p what names the source in error messages. */
+    static std::shared_ptr<const RecordedTrace>
+    deserialize(const std::string &bytes, const std::string &what);
+};
+
+} // namespace prism
+
+#endif // PRISM_FRONTEND_PTRACE_HH

@@ -1,0 +1,72 @@
+#include "frontend/recorder.hh"
+
+#include "core/machine.hh"
+#include "sim/logging.hh"
+#include "workload/workload.hh"
+
+namespace prism {
+
+void
+TraceRecorder::attach(Machine &m, const Workload &w)
+{
+    prism_assert(!trace_, "TraceRecorder attached twice");
+    trace_ = std::make_unique<RecordedTrace>();
+    trace_->workload = w.name();
+    trace_->sizeDesc = w.sizeDesc();
+    trace_->seed = m.config().seed;
+    trace_->numProcs = m.numProcs();
+    trace_->lineBytes = m.config().lineBytes;
+    writers_.clear();
+    writers_.resize(m.numProcs());
+    m.setRefSink(this);
+}
+
+void
+TraceRecorder::access(ProcId p, VAddr va, bool write)
+{
+    writers_[p].access(va, write);
+}
+
+void
+TraceRecorder::compute(ProcId p, Cycles cycles)
+{
+    writers_[p].compute(cycles);
+}
+
+void
+TraceRecorder::sync(ProcId p, RefOp op, std::uint64_t id)
+{
+    writers_[p].sync(op, id);
+}
+
+void
+TraceRecorder::segGet(std::uint64_t key, std::uint64_t bytes,
+                      std::uint64_t gsid)
+{
+    trace_->segments.push_back(
+        SegmentOp{SegmentOp::Get, key, bytes, gsid});
+}
+
+void
+TraceRecorder::segAttach(std::uint64_t vsid, std::uint64_t gsid)
+{
+    trace_->segments.push_back(
+        SegmentOp{SegmentOp::Attach, vsid, gsid, 0});
+}
+
+std::shared_ptr<const RecordedTrace>
+TraceRecorder::finish(Machine &m)
+{
+    prism_assert(trace_, "TraceRecorder::finish without attach");
+    m.setRefSink(nullptr);
+    trace_->opCounts.resize(writers_.size());
+    trace_->streams.resize(writers_.size());
+    for (std::size_t p = 0; p < writers_.size(); ++p) {
+        trace_->opCounts[p] = writers_[p].opCount();
+        trace_->streams[p] = writers_[p].takeBytes();
+    }
+    writers_.clear();
+    return std::shared_ptr<const RecordedTrace>(std::move(trace_));
+}
+
+} // namespace prism

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Recording frontend: a RefSink that captures a run's reference
+ * streams into a RecordedTrace.
+ *
+ * Attach to a Machine before setup (Machine::setRefSink installs the
+ * per-proc hooks), run the workload, then finish() to collect the
+ * trace.  Each processor's ops land in its own StreamWriter, so the
+ * recorder is safe under the sharded scheduler (one shard thread per
+ * processor, no cross-proc writes); the segment log is only written
+ * from Workload::setup, which runs before the processors start.
+ */
+
+#ifndef PRISM_FRONTEND_RECORDER_HH
+#define PRISM_FRONTEND_RECORDER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/ptrace.hh"
+#include "frontend/ref_sink.hh"
+
+namespace prism {
+
+class Machine;
+class Workload;
+
+/** Captures one run's reference streams (see file comment). */
+class TraceRecorder : public RefSink
+{
+  public:
+    /** Hook @p m 's processors and segment calls; fills the header
+     *  from @p w and @p m 's configuration. */
+    void attach(Machine &m, const Workload &w);
+
+    void access(ProcId p, VAddr va, bool write) override;
+    void compute(ProcId p, Cycles cycles) override;
+    void sync(ProcId p, RefOp op, std::uint64_t id) override;
+    void segGet(std::uint64_t key, std::uint64_t bytes,
+                std::uint64_t gsid) override;
+    void segAttach(std::uint64_t vsid, std::uint64_t gsid) override;
+
+    /** Unhook from the machine and return the completed trace. */
+    std::shared_ptr<const RecordedTrace> finish(Machine &m);
+
+  private:
+    std::unique_ptr<RecordedTrace> trace_;
+    std::vector<StreamWriter> writers_;
+};
+
+} // namespace prism
+
+#endif // PRISM_FRONTEND_RECORDER_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reference-stream observer interface.
+ *
+ * A RefSink receives every event a running program issues through the
+ * Proc program interface — loads, stores, compute charges, sync ops —
+ * plus the Machine-level segment setup calls.  The recording frontend
+ * (frontend/recorder.hh) implements it to capture a .ptrace stream;
+ * Proc and Machine carry a null-by-default pointer so the hooks cost
+ * one predictable branch when no recorder is attached.
+ *
+ * Per-proc callbacks are invoked on the thread driving that processor
+ * (one shard thread per proc under the sharded scheduler), so a sink
+ * must keep per-proc state independent.
+ */
+
+#ifndef PRISM_FRONTEND_REF_SINK_HH
+#define PRISM_FRONTEND_REF_SINK_HH
+
+#include <cstdint>
+
+#include "mem/addr.hh"
+#include "sim/types.hh"
+
+namespace prism {
+
+/**
+ * Operation kinds in a reference stream.  The numeric values are the
+ * on-disk .ptrace opcode encoding — append only, never renumber.
+ */
+enum class RefOp : std::uint8_t {
+    Load = 0,
+    Store = 1,
+    Compute = 2,
+    Lock = 3,
+    Unlock = 4,
+    Barrier = 5,
+    Fence = 6,
+    BeginParallel = 7,
+    EndParallel = 8,
+};
+
+constexpr std::uint8_t kNumRefOps = 9;
+
+/** Observer for one run's reference stream (see file comment). */
+class RefSink
+{
+  public:
+    virtual ~RefSink() = default;
+
+    /** A load (@p write false) or store (@p write true) to @p va. */
+    virtual void access(ProcId p, VAddr va, bool write) = 0;
+
+    /** @p cycles of non-memory computation charged. */
+    virtual void compute(ProcId p, Cycles cycles) = 0;
+
+    /**
+     * A synchronization event: Lock/Unlock/Barrier carry the object
+     * @p id; Fence/BeginParallel/EndParallel ignore it.
+     */
+    virtual void sync(ProcId p, RefOp op, std::uint64_t id) = 0;
+
+    /** Machine::shmget(@p key, @p bytes) returned @p gsid. */
+    virtual void segGet(std::uint64_t key, std::uint64_t bytes,
+                        std::uint64_t gsid) = 0;
+
+    /** Machine::shmatAll bound @p vsid to @p gsid. */
+    virtual void segAttach(std::uint64_t vsid, std::uint64_t gsid) = 0;
+};
+
+} // namespace prism
+
+#endif // PRISM_FRONTEND_REF_SINK_HH

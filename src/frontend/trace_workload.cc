@@ -1,0 +1,88 @@
+#include "frontend/trace_workload.hh"
+
+#include "sim/logging.hh"
+
+namespace prism {
+
+TraceWorkload::TraceWorkload(std::shared_ptr<const RecordedTrace> trace)
+    : trace_(std::move(trace))
+{
+    prism_assert(trace_ != nullptr, "TraceWorkload without a trace");
+}
+
+void
+TraceWorkload::setup(Machine &m)
+{
+    if (m.numProcs() != trace_->numProcs) {
+        fatal("trace '%s' was recorded on %u processors; this machine "
+              "has %u (replay requires a matching processor count)",
+              trace_->workload.c_str(), trace_->numProcs,
+              m.numProcs());
+    }
+    if (m.config().lineBytes != trace_->lineBytes) {
+        inform("trace '%s' was recorded with %u-byte lines; replaying "
+               "with %u-byte lines",
+               trace_->workload.c_str(), trace_->lineBytes,
+               m.config().lineBytes);
+    }
+    for (const SegmentOp &s : trace_->segments) {
+        if (s.kind == SegmentOp::Get) {
+            const std::uint64_t gsid = m.shmget(s.a, s.b);
+            if (gsid != s.c) {
+                fatal("replaying trace '%s': shmget(key=%llx) returned "
+                      "gsid %llu, recorded %llu (segment creation "
+                      "order diverged)",
+                      trace_->workload.c_str(),
+                      static_cast<unsigned long long>(s.a),
+                      static_cast<unsigned long long>(gsid),
+                      static_cast<unsigned long long>(s.c));
+            }
+        } else {
+            m.shmatAll(s.a, s.b);
+        }
+    }
+}
+
+CoTask
+TraceWorkload::body(Proc &p, std::uint32_t tid, std::uint32_t nthreads)
+{
+    prism_assert(nthreads == trace_->numProcs,
+                 "replay body spawned with %u threads for a %u-proc "
+                 "trace", nthreads, trace_->numProcs);
+    StreamReader r(trace_->streams[tid], trace_->opCounts[tid],
+                   trace_->workload + " proc " + std::to_string(tid));
+    TraceOp op;
+    while (r.next(&op)) {
+        switch (op.op) {
+          case RefOp::Load:
+            co_await p.read(VAddr{op.value});
+            break;
+          case RefOp::Store:
+            co_await p.write(VAddr{op.value});
+            break;
+          case RefOp::Compute:
+            p.compute(op.value);
+            break;
+          case RefOp::Lock:
+            co_await p.lock(op.value);
+            break;
+          case RefOp::Unlock:
+            co_await p.unlock(op.value);
+            break;
+          case RefOp::Barrier:
+            co_await p.barrier(op.value);
+            break;
+          case RefOp::Fence:
+            co_await p.fence();
+            break;
+          case RefOp::BeginParallel:
+            co_await p.beginParallel();
+            break;
+          case RefOp::EndParallel:
+            co_await p.endParallel();
+            break;
+        }
+    }
+}
+
+} // namespace prism

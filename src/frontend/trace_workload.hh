@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Replay frontend: a Workload that re-issues a recorded reference
+ * stream through the unmodified Proc/coherence/paging layers.
+ *
+ * setup() repeats the recorded shmget/shmatAll calls (checking the
+ * machine hands back the same segment ids), then each processor's
+ * body() decodes its stream and re-issues every op through the normal
+ * program interface.  Sync dependencies are reconstructed from the
+ * recorded lock/barrier events, so timing is entirely config-driven:
+ * replaying a recording at the configuration it was recorded under
+ * reproduces the execution cycle for cycle (see docs/TRACE.md for the
+ * determinism contract and its limits across configurations).
+ *
+ * Replay never touches host-side shared state, so it is shard-safe
+ * even for workloads that had to record sequentially (Barnes, MP3D).
+ */
+
+#ifndef PRISM_FRONTEND_TRACE_WORKLOAD_HH
+#define PRISM_FRONTEND_TRACE_WORKLOAD_HH
+
+#include <memory>
+
+#include "frontend/ptrace.hh"
+#include "workload/workload.hh"
+
+namespace prism {
+
+/** Replays a RecordedTrace as a Workload (see file comment). */
+class TraceWorkload : public Workload
+{
+  public:
+    explicit TraceWorkload(std::shared_ptr<const RecordedTrace> trace);
+
+    const char *name() const override { return trace_->workload.c_str(); }
+    std::string sizeDesc() const override { return trace_->sizeDesc; }
+    void setup(Machine &m) override;
+    CoTask body(Proc &p, std::uint32_t tid,
+                std::uint32_t nthreads) override;
+    bool shardSafe() const override { return true; }
+
+    const RecordedTrace &trace() const { return *trace_; }
+
+  private:
+    std::shared_ptr<const RecordedTrace> trace_;
+};
+
+} // namespace prism
+
+#endif // PRISM_FRONTEND_TRACE_WORKLOAD_HH

@@ -135,6 +135,9 @@ RunReport::writeJson(JsonWriter &w) const
     w.kv("l2Bytes", l2Bytes);
     w.kv("lineBytes", lineBytes);
     w.kv("migrationEnabled", migrationEnabled);
+    w.kv("frontend", std::string_view(frontend));
+    w.kv("traceWorkload", std::string_view(traceWorkload));
+    w.kv("traceOps", traceOps);
     w.endObject();
 
     w.key("phases");

@@ -29,7 +29,7 @@ class Machine;
 class JsonWriter;
 
 /** Bump on ANY change to the JSON shape (keys added/removed/moved). */
-constexpr int kRunReportSchemaVersion = 2;
+constexpr int kRunReportSchemaVersion = 3;
 
 /** Everything the JSON run report contains, in exporter-ready form. */
 struct RunReport {
@@ -45,6 +45,11 @@ struct RunReport {
     std::uint32_t l2Bytes = 0;
     std::uint32_t lineBytes = 0;
     bool migrationEnabled = false;
+
+    // --- Frontend provenance (docs/TRACE.md) ----------------------------
+    std::string frontend = "exec"; //!< exec | record | replay
+    std::string traceWorkload;     //!< trace header name (record/replay)
+    std::uint64_t traceOps = 0;    //!< recorded/replayed op count
 
     // --- Phase timeline -------------------------------------------------
     Tick parallelBeginTick = 0;

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "core/env.hh"
 #include "obs/json.hh"
 #include "sim/logging.hh"
 
@@ -19,7 +20,7 @@ std::atomic<bool> g_traceClaimed{false};
 std::unique_ptr<TraceSink>
 TraceSink::claimFromEnv()
 {
-    const char *path = std::getenv("PRISM_TRACE");
+    const char *path = resolveEnv("PRISM_TRACE");
     if (path == nullptr || path[0] == '\0')
         return nullptr;
     bool expected = false;

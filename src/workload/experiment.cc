@@ -1,28 +1,103 @@
 #include "workload/experiment.hh"
 
 #include "core/machine.hh"
+#include "frontend/recorder.hh"
+#include "frontend/trace_workload.hh"
 #include "sim/logging.hh"
 #include "workload/workload.hh"
 
 namespace prism {
 
+namespace {
+
+/**
+ * Execute @p app under @p cfg; with @p rec_out non-null the run is
+ * recorded and the completed trace stored there.  The report (when
+ * requested) carries the frontend provenance.
+ */
 RunMetrics
-runOnce(const MachineConfig &cfg, const AppSpec &app, RunReport *report)
+runExec(MachineConfig cfg, const AppSpec &app, RunReport *report,
+        std::shared_ptr<const RecordedTrace> *rec_out)
 {
     auto w = app.make();
-    MachineConfig c = cfg;
-    if (c.jobsIntra > 1 && !w->shardSafe()) {
+    if (cfg.jobsIntra > 1 && !w->shardSafe()) {
         inform("jobsIntra=%u ignored: %s shares host state across "
                "processors without shard-safe discipline "
                "(Workload::shardSafe)",
-               c.jobsIntra, w->name());
-        c.jobsIntra = 1;
+               cfg.jobsIntra, w->name());
+        cfg.jobsIntra = 1;
     }
-    Machine m(c);
+    Machine m(cfg);
+    TraceRecorder rec;
+    if (rec_out)
+        rec.attach(m, *w);
     RunMetrics r = runWorkload(m, *w);
-    if (report)
+    if (rec_out)
+        *rec_out = rec.finish(m);
+    if (report) {
         *report = m.report();
+        if (rec_out) {
+            report->frontend = frontendName(FrontendKind::Record);
+            report->traceWorkload = (*rec_out)->workload;
+            report->traceOps = (*rec_out)->totalOps();
+        }
+    }
     return r;
+}
+
+/** Re-issue @p trace under @p cfg through a TraceWorkload. */
+RunMetrics
+runReplay(const MachineConfig &cfg,
+          std::shared_ptr<const RecordedTrace> trace, RunReport *report)
+{
+    TraceWorkload w(std::move(trace));
+    Machine m(cfg);
+    RunMetrics r = runWorkload(m, w);
+    if (report) {
+        *report = m.report();
+        report->frontend = frontendName(FrontendKind::Replay);
+        report->traceWorkload = w.trace().workload;
+        report->traceOps = w.trace().totalOps();
+    }
+    return r;
+}
+
+/** Load spec.traceFile (resolved to @p path) for @p app, once. */
+std::shared_ptr<const RecordedTrace>
+loadTraceFor(const std::string &path, const AppSpec &app)
+{
+    if (path.empty())
+        fatal("frontend=replay requires a trace file (--trace-file)");
+    auto trace = RecordedTrace::readFile(path);
+    if (trace->workload != app.name) {
+        warn("replaying trace of '%s' (from %s) in place of app '%s'",
+             trace->workload.c_str(), path.c_str(), app.name.c_str());
+    }
+    return trace;
+}
+
+} // namespace
+
+RunMetrics
+runOnce(const RunSpec &spec, const AppSpec &app, RunReport *report)
+{
+    switch (spec.frontend) {
+      case FrontendKind::Exec:
+        return runExec(spec.machine, app, report, nullptr);
+      case FrontendKind::Record: {
+        if (spec.traceFile.empty())
+            fatal("frontend=record requires a trace file "
+                  "(--trace-file)");
+        std::shared_ptr<const RecordedTrace> trace;
+        RunMetrics r = runExec(spec.machine, app, report, &trace);
+        trace->writeFile(spec.traceFile);
+        return r;
+      }
+      case FrontendKind::Replay:
+        return runReplay(spec.machine,
+                         loadTraceFor(spec.traceFile, app), report);
+    }
+    panic("unreachable frontend kind");
 }
 
 std::vector<PolicyKind>
@@ -72,16 +147,38 @@ policyConfig(const MachineConfig &base, PolicyKind pk,
 }
 
 std::vector<ExperimentResult>
-runPolicySweep(const MachineConfig &base, const AppSpec &app,
-               const std::vector<PolicyKind> &policies,
-               double cap_fraction)
+runPolicySweep(const RunSpec &spec, const AppSpec &app)
 {
-    // Calibration run: SCOMA with an unbounded page cache.
+    const std::vector<PolicyKind> policies =
+        spec.policies.empty() ? paperPolicies() : spec.policies;
+
+    // Replay mode never executes the workload: every run — including
+    // the calibration — re-issues the recorded stream.
+    std::shared_ptr<const RecordedTrace> trace;
+    if (spec.frontend == FrontendKind::Replay)
+        trace = loadTraceFor(spec.traceFile, app);
+
+    // Calibration run: SCOMA with an unbounded page cache.  In record
+    // mode this is the run whose stream is captured.
     RunReport scoma_report;
-    RunMetrics scoma =
-        runOnce(calibrationConfig(base), app, &scoma_report);
+    RunMetrics scoma;
+    if (trace) {
+        scoma = runReplay(calibrationConfig(spec.machine), trace,
+                          &scoma_report);
+    } else if (spec.frontend == FrontendKind::Record) {
+        if (spec.traceFile.empty())
+            fatal("frontend=record requires a trace file "
+                  "(--trace-file)");
+        std::shared_ptr<const RecordedTrace> recorded;
+        scoma = runExec(calibrationConfig(spec.machine), app,
+                        &scoma_report, &recorded);
+        recorded->writeFile(spec.traceFile);
+    } else {
+        scoma = runExec(calibrationConfig(spec.machine), app,
+                        &scoma_report, nullptr);
+    }
     const std::vector<std::uint64_t> caps =
-        scoma70Caps(scoma, cap_fraction);
+        scoma70Caps(scoma, spec.capFraction);
 
     std::vector<ExperimentResult> out;
     for (PolicyKind pk : policies) {
@@ -92,8 +189,10 @@ runPolicySweep(const MachineConfig &base, const AppSpec &app,
             r.metrics = scoma;
             r.report = scoma_report;
         } else {
-            r.metrics =
-                runOnce(policyConfig(base, pk, caps), app, &r.report);
+            const MachineConfig cfg =
+                policyConfig(spec.machine, pk, caps);
+            r.metrics = trace ? runReplay(cfg, trace, &r.report)
+                              : runExec(cfg, app, &r.report, nullptr);
         }
         out.push_back(std::move(r));
     }

@@ -18,6 +18,7 @@
 
 #include "core/config.hh"
 #include "core/metrics.hh"
+#include "frontend/frontend.hh"
 #include "obs/report.hh"
 #include "workload/apps.hh"
 
@@ -33,11 +34,41 @@ struct ExperimentResult {
 };
 
 /**
- * Run one workload instance under @p cfg.  When @p report is non-null
+ * One experiment request: everything runOnce / runPolicySweep /
+ * runSweepsParallel need, in a single designated-initializer-friendly
+ * struct.
+ *
+ *   RunSpec spec{.machine = base, .jobs = opts.jobs,
+ *                .frontend = opts.frontend};
+ *
+ * `machine` carries the policy/protocol/seed for single runs and the
+ * base configuration for sweeps (sweeps derive the per-policy configs
+ * themselves).  An empty `policies` means paperPolicies().  The
+ * frontend selects where reference streams come from (exec | record |
+ * replay, docs/TRACE.md): record captures the calibration run's
+ * stream to `traceFile`; replay loads `traceFile` instead of
+ * executing the workload at all.
+ */
+struct RunSpec {
+    MachineConfig machine;
+    /** Sweep dimension; empty selects the paper's six policies. */
+    std::vector<PolicyKind> policies;
+    /** TaskPool workers for runSweepsParallel. */
+    unsigned jobs = 1;
+    /** The paper's SCOMA-70 page-cache cap fraction. */
+    double capFraction = 0.70;
+    FrontendKind frontend = FrontendKind::Exec;
+    /** .ptrace path: written by record, read by replay.  Sweeps over
+     *  several apps treat it as a per-app pattern (tracePathFor). */
+    std::string traceFile;
+};
+
+/**
+ * Run @p app once under @p spec.machine.  When @p report is non-null
  * it receives the structured run report, captured while the machine is
  * still alive.
  */
-RunMetrics runOnce(const MachineConfig &cfg, const AppSpec &app,
+RunMetrics runOnce(const RunSpec &spec, const AppSpec &app,
                    RunReport *report = nullptr);
 
 /** Config for the SCOMA calibration run (unbounded page cache). */
@@ -56,15 +87,15 @@ MachineConfig policyConfig(const MachineConfig &base, PolicyKind pk,
                            const std::vector<std::uint64_t> &caps);
 
 /**
- * Run @p app under every policy in @p policies, calibrating the
+ * Run @p app under every policy in @p spec.policies, calibrating the
  * SCOMA-70 caps from a SCOMA run first (reused as the SCOMA result if
- * requested).  @p base supplies everything except policy and caps.
- * @p cap_fraction is the paper's 70%.
+ * requested).  @p spec.machine supplies everything except policy and
+ * caps.  With frontend=record the calibration run's stream is written
+ * to spec.traceFile; with frontend=replay every run re-issues the
+ * stream loaded from spec.traceFile instead of executing @p app.
  */
-std::vector<ExperimentResult>
-runPolicySweep(const MachineConfig &base, const AppSpec &app,
-               const std::vector<PolicyKind> &policies,
-               double cap_fraction = 0.70);
+std::vector<ExperimentResult> runPolicySweep(const RunSpec &spec,
+                                             const AppSpec &app);
 
 /** The paper's six configurations, Figure 7 order. */
 std::vector<PolicyKind> paperPolicies();

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "core/env.hh"
 #include "sim/logging.hh"
 
 namespace prism {
@@ -12,7 +13,7 @@ namespace prism {
 unsigned
 defaultJobs()
 {
-    if (const char *e = std::getenv("PRISM_JOBS")) {
+    if (const char *e = resolveEnv("PRISM_JOBS")) {
         char *end = nullptr;
         long v = std::strtol(e, &end, 10);
         if (end == e || *end != '\0' || v < 1)
@@ -106,11 +107,10 @@ TaskPool::workerLoop()
 }
 
 std::vector<ExperimentResult>
-runSweepsParallel(const MachineConfig &base,
-                  const std::vector<AppSpec> &apps,
-                  const std::vector<PolicyKind> &policies,
-                  unsigned jobs, double cap_fraction)
+runSweepsParallel(const RunSpec &spec, const std::vector<AppSpec> &apps)
 {
+    const std::vector<PolicyKind> policies =
+        spec.policies.empty() ? paperPolicies() : spec.policies;
     const std::size_t np = policies.size();
     std::vector<ExperimentResult> out(apps.size() * np);
     for (std::size_t a = 0; a < apps.size(); ++a) {
@@ -120,19 +120,28 @@ runSweepsParallel(const MachineConfig &base,
         }
     }
 
-    TaskPool pool(jobs);
+    TaskPool pool(spec.jobs);
     for (std::size_t a = 0; a < apps.size(); ++a) {
-        // Stage 1 per app: the SCOMA calibration run.  Its caps feed
-        // the capped policies, so those only enter the queue once the
+        // Stage 1 per app: the SCOMA calibration run — executed (and
+        // in record mode captured to the app's trace file), or in
+        // replay mode re-issued from it.  Its caps feed the capped
+        // policies, so those only enter the queue once the
         // calibration task finishes.
-        pool.submit([&base, &apps, &policies, &pool, &out, a, np,
-                     cap_fraction] {
+        pool.submit([&spec, &apps, &policies, &pool, &out, a, np] {
             const AppSpec &app = apps[a];
+            const std::string trace_path =
+                spec.frontend == FrontendKind::Exec
+                    ? std::string()
+                    : tracePathFor(spec.traceFile, app.name,
+                                   apps.size());
+            RunSpec calib{.machine = calibrationConfig(spec.machine),
+                          .frontend = spec.frontend,
+                          .traceFile = trace_path};
             RunReport scoma_report;
-            RunMetrics scoma =
-                runOnce(calibrationConfig(base), app, &scoma_report);
+            const RunMetrics scoma =
+                runOnce(calib, app, &scoma_report);
             auto caps = std::make_shared<std::vector<std::uint64_t>>(
-                scoma70Caps(scoma, cap_fraction));
+                scoma70Caps(scoma, spec.capFraction));
             for (std::size_t p = 0; p < np; ++p) {
                 const std::size_t slot = a * np + p;
                 const PolicyKind pk = policies[p];
@@ -143,10 +152,20 @@ runSweepsParallel(const MachineConfig &base,
                 }
                 // Stage 2: independent runs, one task each.  Distinct
                 // slots, so no synchronization on the results needed.
-                pool.submit([&base, &app, &out, caps, slot, pk] {
-                    out[slot].metrics = runOnce(
-                        policyConfig(base, pk, *caps), app,
-                        &out[slot].report);
+                // Record degrades to exec here: only the calibration
+                // run is captured (docs/TRACE.md).
+                pool.submit([&spec, &app, &out, caps, trace_path,
+                             slot, pk] {
+                    RunSpec run{
+                        .machine =
+                            policyConfig(spec.machine, pk, *caps),
+                        .frontend =
+                            spec.frontend == FrontendKind::Replay
+                                ? FrontendKind::Replay
+                                : FrontendKind::Exec,
+                        .traceFile = trace_path};
+                    out[slot].metrics =
+                        runOnce(run, app, &out[slot].report);
                 });
             }
         });

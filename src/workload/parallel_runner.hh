@@ -82,18 +82,19 @@ class TaskPool
 };
 
 /**
- * Run every (app, policy) combination on @p jobs workers, honoring
- * the SCOMA-calibration dependency per app.  Equivalent to calling
- * runPolicySweep() for each app and concatenating: results are in
- * sweep order (apps outer, policies inner) and — because each
- * simulation is deterministic and isolated — bit-identical to the
- * sequential runner's for any worker count.
+ * Run every (app, policy) combination on @p spec.jobs workers,
+ * honoring the SCOMA-calibration dependency per app.  Equivalent to
+ * calling runPolicySweep(spec, app) for each app and concatenating:
+ * results are in sweep order (apps outer, policies inner) and —
+ * because each simulation is deterministic and isolated —
+ * bit-identical to the sequential runner's for any worker count.
+ *
+ * With several apps, spec.traceFile is resolved per app through
+ * tracePathFor() for the record/replay frontends.
  */
 std::vector<ExperimentResult>
-runSweepsParallel(const MachineConfig &base,
-                  const std::vector<AppSpec> &apps,
-                  const std::vector<PolicyKind> &policies,
-                  unsigned jobs, double cap_fraction = 0.70);
+runSweepsParallel(const RunSpec &spec,
+                  const std::vector<AppSpec> &apps);
 
 } // namespace prism
 

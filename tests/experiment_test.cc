@@ -42,8 +42,10 @@ TEST(Experiment, SweepReusesScomaCalibrationRun)
             fft = &a;
     }
     ASSERT_NE(fft, nullptr);
-    auto rs = runPolicySweep(smallCfg(), *fft,
-                             {PolicyKind::Scoma, PolicyKind::Scoma70});
+    auto rs = runPolicySweep(
+        RunSpec{.machine = smallCfg(),
+                .policies = {PolicyKind::Scoma, PolicyKind::Scoma70}},
+        *fft);
     ASSERT_EQ(rs.size(), 2u);
     EXPECT_EQ(rs[0].policy, PolicyKind::Scoma);
     EXPECT_GT(rs[0].metrics.execCycles, 0u);
@@ -71,8 +73,10 @@ TEST(Experiment, LaNumaRunsUncapped)
             ocean = &a;
     }
     ASSERT_NE(ocean, nullptr);
-    auto rs = runPolicySweep(smallCfg(), *ocean,
-                             {PolicyKind::Scoma, PolicyKind::LaNuma});
+    auto rs = runPolicySweep(
+        RunSpec{.machine = smallCfg(),
+                .policies = {PolicyKind::Scoma, PolicyKind::LaNuma}},
+        *ocean);
     // LANUMA allocates no client S-COMA frames at all.
     for (std::uint64_t peak : rs[1].metrics.clientScomaPeakPerNode)
         EXPECT_EQ(peak, 0u);
@@ -90,12 +94,16 @@ TEST(Experiment, CapFractionIsConfigurable)
             radix = &a;
     }
     ASSERT_NE(radix, nullptr);
-    auto r50 = runPolicySweep(smallCfg(), *radix,
-                              {PolicyKind::Scoma, PolicyKind::Scoma70},
-                              0.50);
-    auto r90 = runPolicySweep(smallCfg(), *radix,
-                              {PolicyKind::Scoma, PolicyKind::Scoma70},
-                              0.90);
+    auto r50 = runPolicySweep(
+        RunSpec{.machine = smallCfg(),
+                .policies = {PolicyKind::Scoma, PolicyKind::Scoma70},
+                .capFraction = 0.50},
+        *radix);
+    auto r90 = runPolicySweep(
+        RunSpec{.machine = smallCfg(),
+                .policies = {PolicyKind::Scoma, PolicyKind::Scoma70},
+                .capFraction = 0.90},
+        *radix);
     // A tighter cache cannot cause fewer page-outs.
     EXPECT_GE(r50[1].metrics.clientPageOuts,
               r90[1].metrics.clientPageOuts);

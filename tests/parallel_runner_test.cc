@@ -139,12 +139,14 @@ TEST(ParallelSweep, BitIdenticalToSequentialSweep)
 
     std::vector<ExperimentResult> sequential;
     for (const auto &app : apps) {
-        auto rs = runPolicySweep(base, app, policies);
+        auto rs = runPolicySweep(
+            RunSpec{.machine = base, .policies = policies}, app);
         sequential.insert(sequential.end(), rs.begin(), rs.end());
     }
 
-    const auto parallel =
-        runSweepsParallel(base, apps, policies, /*jobs=*/4);
+    const auto parallel = runSweepsParallel(
+        RunSpec{.machine = base, .policies = policies, .jobs = 4},
+        apps);
 
     ASSERT_EQ(parallel.size(), sequential.size());
     for (std::size_t i = 0; i < parallel.size(); ++i) {
@@ -172,8 +174,12 @@ TEST(ParallelSweep, WorkerCountInvariant)
     }
     ASSERT_EQ(apps.size(), 1u);
 
-    const auto one = runSweepsParallel(base, apps, policies, 1);
-    const auto eight = runSweepsParallel(base, apps, policies, 8);
+    const auto one = runSweepsParallel(
+        RunSpec{.machine = base, .policies = policies, .jobs = 1},
+        apps);
+    const auto eight = runSweepsParallel(
+        RunSpec{.machine = base, .policies = policies, .jobs = 8},
+        apps);
     ASSERT_EQ(one.size(), eight.size());
     for (std::size_t i = 0; i < one.size(); ++i)
         EXPECT_TRUE(metricsIdentical(one[i].metrics, eight[i].metrics));

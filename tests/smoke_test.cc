@@ -45,7 +45,7 @@ TEST(Smoke, EveryTinyAppEveryPolicy)
             MachineConfig cfg = tinyConfig();
             cfg.policy = pk;
             cfg.clientFrameCap = (pk == PolicyKind::Scoma) ? 0 : 24;
-            RunMetrics r = runOnce(cfg, app);
+            RunMetrics r = runOnce(RunSpec{.machine = cfg}, app);
             EXPECT_GT(r.execCycles, 0u)
                 << app.name << " " << policyName(pk);
             EXPECT_GT(r.references, 0u)

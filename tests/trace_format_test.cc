@@ -1,0 +1,245 @@
+/**
+ * @file
+ * .ptrace format tests: lossless round-trips (including a seeded fuzz
+ * sweep over random streams), encoding-size sanity, and fail-fast
+ * behavior on corrupt, truncated or version-mismatched inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "frontend/ptrace.hh"
+#include "mem/addr.hh"
+
+namespace prism {
+namespace {
+
+/** Decode one stream completely. */
+std::vector<TraceOp>
+decodeAll(const std::string &bytes, std::uint64_t op_count)
+{
+    StreamReader r(bytes, op_count, "test stream");
+    std::vector<TraceOp> out;
+    TraceOp op;
+    while (r.next(&op))
+        out.push_back(op);
+    return out;
+}
+
+TEST(TraceFormat, StreamRoundTripsEveryOpKind)
+{
+    StreamWriter w;
+    const VAddr a1 = makeVAddr(1, 3, 128);
+    const VAddr a2 = makeVAddr(0x100, 0, 64); // backwards delta
+    w.sync(RefOp::BeginParallel, 0);
+    w.access(a1, false);
+    w.access(a2, true);
+    w.compute(7);      // small immediate
+    w.compute(123456); // varint escape
+    w.sync(RefOp::Lock, 3);
+    w.sync(RefOp::Unlock, 3);
+    w.sync(RefOp::Barrier, 99);
+    w.sync(RefOp::Fence, 0);
+    w.sync(RefOp::EndParallel, 0);
+
+    const auto ops = decodeAll(w.bytes(), w.opCount());
+    ASSERT_EQ(ops.size(), 10u);
+    EXPECT_EQ(ops[0], (TraceOp{RefOp::BeginParallel, 0}));
+    EXPECT_EQ(ops[1], (TraceOp{RefOp::Load, a1.raw}));
+    EXPECT_EQ(ops[2], (TraceOp{RefOp::Store, a2.raw}));
+    EXPECT_EQ(ops[3], (TraceOp{RefOp::Compute, 7}));
+    EXPECT_EQ(ops[4], (TraceOp{RefOp::Compute, 123456}));
+    EXPECT_EQ(ops[5], (TraceOp{RefOp::Lock, 3}));
+    EXPECT_EQ(ops[6], (TraceOp{RefOp::Unlock, 3}));
+    EXPECT_EQ(ops[7], (TraceOp{RefOp::Barrier, 99}));
+    EXPECT_EQ(ops[8], (TraceOp{RefOp::Fence, 0}));
+    EXPECT_EQ(ops[9], (TraceOp{RefOp::EndParallel, 0}));
+}
+
+TEST(TraceFormat, SequentialAccessesCompressWell)
+{
+    // A unit-stride scan is the common case the zigzag-delta encoding
+    // targets: after the first access every op costs three bytes
+    // (opcode + two varint bytes for the zigzagged 64-byte delta)
+    // instead of nine for a raw address.
+    StreamWriter w;
+    for (unsigned i = 0; i < 1000; ++i)
+        w.access(makeVAddr(1, 0, i * 64), false);
+    EXPECT_LE(w.bytes().size(), 3 * 1000 + 16);
+}
+
+/** A deterministic random stream exercised through a full file. */
+TEST(TraceFormat, FuzzRoundTripLossless)
+{
+    const char *seed_env = std::getenv("PRISM_PROPERTY_SEED");
+    const std::uint64_t seed =
+        seed_env ? std::strtoull(seed_env, nullptr, 10) : 42;
+    std::mt19937_64 rng(seed);
+
+    RecordedTrace t;
+    t.workload = "Fuzz";
+    t.sizeDesc = "random stream, seed " + std::to_string(seed);
+    t.seed = seed;
+    t.numProcs = 4;
+    t.lineBytes = 64;
+    t.segments.push_back(SegmentOp{SegmentOp::Get, 0x1000, 1 << 20, 2});
+    t.segments.push_back(SegmentOp{SegmentOp::Attach, 1, 2, 0});
+
+    std::vector<std::vector<TraceOp>> expect(t.numProcs);
+    for (std::uint32_t p = 0; p < t.numProcs; ++p) {
+        StreamWriter w;
+        const std::size_t n = 1000 + (rng() % 9000);
+        for (std::size_t i = 0; i < n; ++i) {
+            switch (rng() % 6) {
+              case 0:
+              case 1: {
+                  // Any canonical VAddr, including wild jumps.
+                  const VAddr va = makeVAddr(
+                      rng() % 2 ? 1 : 0x100 + (rng() % 31),
+                      rng() % 1024, rng() % kPageBytes);
+                  const bool wr = rng() % 2;
+                  w.access(va, wr);
+                  expect[p].push_back(
+                      TraceOp{wr ? RefOp::Store : RefOp::Load, va.raw});
+                  break;
+              }
+              case 2: {
+                  const Cycles c = rng() % 100000;
+                  w.compute(c);
+                  expect[p].push_back(TraceOp{RefOp::Compute, c});
+                  break;
+              }
+              default: {
+                  static const RefOp kSync[] = {
+                      RefOp::Lock,  RefOp::Unlock,
+                      RefOp::Barrier, RefOp::Fence,
+                      RefOp::BeginParallel, RefOp::EndParallel};
+                  const RefOp op = kSync[rng() % 6];
+                  const std::uint64_t id = rng() % 1024;
+                  w.sync(op, id);
+                  expect[p].push_back(TraceOp{op, id});
+                  break;
+              }
+            }
+        }
+        t.opCounts.push_back(w.opCount());
+        t.streams.push_back(w.takeBytes());
+    }
+
+    const std::string bytes = t.serialize();
+    auto back = RecordedTrace::deserialize(bytes, "fuzz buffer");
+    EXPECT_EQ(back->workload, t.workload);
+    EXPECT_EQ(back->sizeDesc, t.sizeDesc);
+    EXPECT_EQ(back->seed, t.seed);
+    EXPECT_EQ(back->numProcs, t.numProcs);
+    EXPECT_EQ(back->lineBytes, t.lineBytes);
+    ASSERT_EQ(back->segments.size(), t.segments.size());
+    for (std::size_t i = 0; i < t.segments.size(); ++i) {
+        EXPECT_EQ(back->segments[i].kind, t.segments[i].kind);
+        EXPECT_EQ(back->segments[i].a, t.segments[i].a);
+        EXPECT_EQ(back->segments[i].b, t.segments[i].b);
+        EXPECT_EQ(back->segments[i].c, t.segments[i].c);
+    }
+    ASSERT_EQ(back->streams.size(), t.streams.size());
+    for (std::uint32_t p = 0; p < t.numProcs; ++p) {
+        EXPECT_EQ(decodeAll(back->streams[p], back->opCounts[p]),
+                  expect[p])
+            << "proc " << p << " seed " << seed;
+    }
+
+    // serialize() is deterministic byte-for-byte.
+    EXPECT_EQ(back->serialize(), bytes);
+}
+
+TEST(TraceFormat, FileRoundTrip)
+{
+    RecordedTrace t;
+    t.workload = "Mini";
+    t.seed = 7;
+    t.numProcs = 1;
+    t.lineBytes = 64;
+    StreamWriter w;
+    w.access(makeVAddr(1, 0, 0), true);
+    t.opCounts.push_back(w.opCount());
+    t.streams.push_back(w.takeBytes());
+
+    const std::string path =
+        testing::TempDir() + "trace_format_roundtrip.ptrace";
+    t.writeFile(path);
+    auto back = RecordedTrace::readFile(path);
+    EXPECT_EQ(back->serialize(), t.serialize());
+}
+
+/** Valid serialized trace for the corruption tests below. */
+std::string
+goodBytes()
+{
+    RecordedTrace t;
+    t.workload = "Corrupt";
+    t.seed = 1;
+    t.numProcs = 2;
+    t.lineBytes = 64;
+    for (unsigned p = 0; p < 2; ++p) {
+        StreamWriter w;
+        for (unsigned i = 0; i < 64; ++i)
+            w.access(makeVAddr(1, 0, 64 * i), i % 2);
+        t.opCounts.push_back(w.opCount());
+        t.streams.push_back(w.takeBytes());
+    }
+    return t.serialize();
+}
+
+TEST(TraceFormatDeath, BadMagicDies)
+{
+    std::string b = goodBytes();
+    b[0] = 'X';
+    EXPECT_EXIT(RecordedTrace::deserialize(b, "bad-magic"),
+                testing::ExitedWithCode(1), "bad magic");
+}
+
+TEST(TraceFormatDeath, UnsupportedVersionDies)
+{
+    std::string b = goodBytes();
+    b[8] = 99; // version u32le follows the 8-byte magic
+    EXPECT_EXIT(RecordedTrace::deserialize(b, "bad-version"),
+                testing::ExitedWithCode(1),
+                "version 99.*re-record the trace");
+}
+
+TEST(TraceFormatDeath, TruncationDies)
+{
+    const std::string b = goodBytes();
+    const std::string cut = b.substr(0, b.size() / 2);
+    EXPECT_EXIT(RecordedTrace::deserialize(cut, "truncated"),
+                testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(TraceFormatDeath, FlippedPayloadByteFailsChecksum)
+{
+    std::string b = goodBytes();
+    b[b.size() / 2] ^= 0x40;
+    EXPECT_EXIT(RecordedTrace::deserialize(b, "bitflip"),
+                testing::ExitedWithCode(1), "checksum mismatch");
+}
+
+TEST(TraceFormatDeath, TrailingGarbageDies)
+{
+    std::string b = goodBytes();
+    b += "extra";
+    EXPECT_EXIT(RecordedTrace::deserialize(b, "trailing"),
+                testing::ExitedWithCode(1), "");
+}
+
+TEST(TraceFormatDeath, MissingFileDies)
+{
+    EXPECT_EXIT(
+        RecordedTrace::readFile("/nonexistent/dir/nope.ptrace"),
+        testing::ExitedWithCode(1), "cannot (open|read)");
+}
+
+} // namespace
+} // namespace prism

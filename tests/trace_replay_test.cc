@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Replay-determinism contract (docs/TRACE.md): for any app, replaying
+ * a recording through the SAME machine configuration must produce a
+ * run report byte-identical to direct execution once the provenance
+ * fields are stripped — and recording itself must not perturb the
+ * simulation at all.  Also covers the committed regression fixture
+ * (tests/fixtures/) and replay's fail-fast config checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/machine.hh"
+#include "frontend/ptrace.hh"
+#include "frontend/trace_workload.hh"
+#include "workload/apps.hh"
+#include "workload/experiment.hh"
+#include "workload/workload.hh"
+
+namespace prism {
+namespace {
+
+MachineConfig
+smallCfg()
+{
+    MachineConfig cfg;
+    cfg.numNodes = 4;
+    cfg.procsPerNode = 2;
+    return cfg;
+}
+
+/**
+ * Serialize @p r without the timestamp and the frontend-provenance
+ * keys — everything that may legitimately differ between an execution
+ * and a replay of the same simulation.
+ */
+std::string
+strippedJson(const RunReport &r)
+{
+    std::ostringstream os;
+    r.writeJson(os);
+    std::istringstream is(os.str());
+    std::string line, out;
+    while (std::getline(is, line)) {
+        if (line.find("\"generatedAt\"") != std::string::npos ||
+            line.find("\"frontend\"") != std::string::npos ||
+            line.find("\"traceWorkload\"") != std::string::npos ||
+            line.find("\"traceOps\"") != std::string::npos) {
+            continue;
+        }
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+tmpTrace(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+/**
+ * The core contract, all eight applications: exec, record and replay
+ * at the recorded configuration agree byte-for-byte on the stripped
+ * report (same references, same cycles, same counters, same latency
+ * histograms).
+ */
+TEST(TraceReplay, RecordAndReplayMatchExecOnEveryTinyApp)
+{
+    for (const AppSpec &app : standardApps(AppScale::Tiny)) {
+        const std::string path =
+            tmpTrace("replay_" + app.name + ".ptrace");
+
+        RunReport exec_r, rec_r, rep_r;
+        runOnce(RunSpec{.machine = smallCfg()}, app, &exec_r);
+        runOnce(RunSpec{.machine = smallCfg(),
+                        .frontend = FrontendKind::Record,
+                        .traceFile = path},
+                app, &rec_r);
+        runOnce(RunSpec{.machine = smallCfg(),
+                        .frontend = FrontendKind::Replay,
+                        .traceFile = path},
+                app, &rep_r);
+
+        const std::string want = strippedJson(exec_r);
+        EXPECT_EQ(strippedJson(rec_r), want)
+            << app.name << ": recording perturbed the run";
+        EXPECT_EQ(strippedJson(rep_r), want)
+            << app.name << ": replay diverged from execution";
+
+        EXPECT_EQ(exec_r.frontend, "exec");
+        EXPECT_EQ(rec_r.frontend, "record");
+        EXPECT_EQ(rep_r.frontend, "replay");
+        EXPECT_EQ(rec_r.traceWorkload, app.name);
+        EXPECT_EQ(rep_r.traceWorkload, app.name);
+        EXPECT_GT(rep_r.traceOps, 0u);
+        EXPECT_EQ(rep_r.traceOps, rec_r.traceOps) << app.name;
+    }
+}
+
+TEST(TraceReplay, RecordingIsDeterministic)
+{
+    const auto apps = standardApps(AppScale::Tiny);
+    const AppSpec *lu = nullptr;
+    for (const auto &a : apps) {
+        if (a.name == "LU")
+            lu = &a;
+    }
+    ASSERT_NE(lu, nullptr);
+
+    const std::string p1 = tmpTrace("rec_once.ptrace");
+    const std::string p2 = tmpTrace("rec_twice.ptrace");
+    runOnce(RunSpec{.machine = smallCfg(),
+                    .frontend = FrontendKind::Record,
+                    .traceFile = p1},
+            *lu);
+    runOnce(RunSpec{.machine = smallCfg(),
+                    .frontend = FrontendKind::Record,
+                    .traceFile = p2},
+            *lu);
+    auto t1 = RecordedTrace::readFile(p1);
+    auto t2 = RecordedTrace::readFile(p2);
+    EXPECT_EQ(t1->serialize(), t2->serialize());
+    EXPECT_GT(t1->totalOps(), 0u);
+    EXPECT_GT(t1->encodedBytes(), 0u);
+}
+
+TEST(TraceReplay, PolicySweepFromOneRecordingMatchesExecSweep)
+{
+    const auto apps = standardApps(AppScale::Tiny);
+    const AppSpec *fft = nullptr;
+    for (const auto &a : apps) {
+        if (a.name == "FFT")
+            fft = &a;
+    }
+    ASSERT_NE(fft, nullptr);
+    const std::vector<PolicyKind> policies = {
+        PolicyKind::Scoma, PolicyKind::LaNuma, PolicyKind::Scoma70,
+        PolicyKind::DynLru};
+
+    const auto exec_rs = runPolicySweep(
+        RunSpec{.machine = smallCfg(), .policies = policies}, *fft);
+
+    const std::string path = tmpTrace("sweep_fft.ptrace");
+    const auto rec_rs = runPolicySweep(
+        RunSpec{.machine = smallCfg(),
+                .policies = policies,
+                .frontend = FrontendKind::Record,
+                .traceFile = path},
+        *fft);
+    const auto rep_rs = runPolicySweep(
+        RunSpec{.machine = smallCfg(),
+                .policies = policies,
+                .frontend = FrontendKind::Replay,
+                .traceFile = path},
+        *fft);
+
+    ASSERT_EQ(rec_rs.size(), exec_rs.size());
+    ASSERT_EQ(rep_rs.size(), exec_rs.size());
+    for (std::size_t i = 0; i < exec_rs.size(); ++i) {
+        const std::string want = strippedJson(exec_rs[i].report);
+        EXPECT_EQ(strippedJson(rec_rs[i].report), want)
+            << "policy " << policyName(policies[i]) << " (record)";
+        // FFT's reference stream is config-independent, so replaying
+        // the calibration recording reproduces even the capped-policy
+        // cells exactly.
+        EXPECT_EQ(strippedJson(rep_rs[i].report), want)
+            << "policy " << policyName(policies[i]) << " (replay)";
+    }
+}
+
+TEST(TraceReplayDeath, ProcCountMismatchDies)
+{
+    const auto apps = standardApps(AppScale::Tiny);
+    const AppSpec *fft = nullptr;
+    for (const auto &a : apps) {
+        if (a.name == "FFT")
+            fft = &a;
+    }
+    ASSERT_NE(fft, nullptr);
+    const std::string path = tmpTrace("mismatch_fft.ptrace");
+    runOnce(RunSpec{.machine = smallCfg(),
+                    .frontend = FrontendKind::Record,
+                    .traceFile = path},
+            *fft);
+
+    MachineConfig bigger = smallCfg();
+    bigger.procsPerNode = 4;
+    EXPECT_EXIT(runOnce(RunSpec{.machine = bigger,
+                                .frontend = FrontendKind::Replay,
+                                .traceFile = path},
+                        *fft),
+                testing::ExitedWithCode(1),
+                "recorded on 8 processors.*has 16");
+}
+
+TEST(TraceReplayDeath, MissingTraceFileArgumentDies)
+{
+    const auto apps = standardApps(AppScale::Tiny);
+    EXPECT_EXIT(runOnce(RunSpec{.machine = smallCfg(),
+                                .frontend = FrontendKind::Replay},
+                        apps[0]),
+                testing::ExitedWithCode(1), "requires a trace file");
+    EXPECT_EXIT(runOnce(RunSpec{.machine = smallCfg(),
+                                .frontend = FrontendKind::Record},
+                        apps[0]),
+                testing::ExitedWithCode(1), "requires a trace file");
+}
+
+#ifdef PRISM_SOURCE_DIR
+/**
+ * The committed fixture: a tiny FFT recording checked into the repo.
+ * Replaying it must work under every line protocol (the trace layer
+ * sits entirely above the coherence protocol), and two replays must
+ * agree byte-for-byte.  Regenerate with PRISM_UPDATE_GOLDEN=1 after
+ * an intentional stream change (and bump kPtraceVersion if the
+ * format itself changed).
+ */
+TEST(TraceReplay, CommittedFixtureReplaysUnderEveryProtocol)
+{
+    const std::string path = std::string(PRISM_SOURCE_DIR) +
+                             "/tests/fixtures/fft_tiny.ptrace";
+
+    if (std::getenv("PRISM_UPDATE_GOLDEN")) {
+        const auto apps = standardApps(AppScale::Tiny);
+        for (const auto &a : apps) {
+            if (a.name == "FFT") {
+                runOnce(RunSpec{.machine = smallCfg(),
+                                .frontend = FrontendKind::Record,
+                                .traceFile = path},
+                        a);
+            }
+        }
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    auto trace = RecordedTrace::readFile(path);
+    EXPECT_EQ(trace->workload, "FFT");
+    ASSERT_EQ(trace->numProcs, 8u);
+
+    for (ProtocolScheme ps :
+         {ProtocolScheme::Msi, ProtocolScheme::Mesi,
+          ProtocolScheme::Moesi, ProtocolScheme::Mesif}) {
+        MachineConfig cfg = smallCfg();
+        cfg.protocol = ps;
+        auto run = [&](RunReport *r) {
+            TraceWorkload w(trace);
+            Machine m(cfg);
+            RunMetrics metrics = runWorkload(m, w);
+            *r = m.report();
+            return metrics;
+        };
+        RunReport r1, r2;
+        const RunMetrics m1 = run(&r1);
+        run(&r2);
+        EXPECT_GT(m1.execCycles, 0u) << protocolName(ps);
+        EXPECT_GT(m1.references, 0u) << protocolName(ps);
+        EXPECT_EQ(strippedJson(r1), strippedJson(r2))
+            << protocolName(ps);
+    }
+}
+#endif
+
+} // namespace
+} // namespace prism

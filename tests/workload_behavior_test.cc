@@ -42,8 +42,9 @@ std::vector<AppSpec> Behaviour::apps_;
 TEST_F(Behaviour, LanumaSuffersCapacityRemoteMissesOnOcean)
 {
     MachineConfig base;
-    auto rs = runPolicySweep(base, app(apps_, "Ocean"),
-                             {PolicyKind::Scoma, PolicyKind::LaNuma});
+    auto rs = runPolicySweep(
+        RunSpec{.machine = base, .policies = {PolicyKind::Scoma, PolicyKind::LaNuma}},
+        app(apps_, "Ocean"));
     // Paper Table 4: Ocean LANUMA has far more remote misses than
     // SCOMA (capacity misses go remote).  The gap grows with the
     // problem size; at Small scale it is still a clear >30%.
@@ -58,9 +59,9 @@ TEST_F(Behaviour, LanumaSuffersCapacityRemoteMissesOnOcean)
 TEST_F(Behaviour, ScomaSeventyTradesPageOutsForFewerRemoteMisses)
 {
     MachineConfig base;
-    auto rs = runPolicySweep(base, app(apps_, "Radix"),
-                             {PolicyKind::Scoma, PolicyKind::LaNuma,
-                              PolicyKind::Scoma70});
+    auto rs = runPolicySweep(
+        RunSpec{.machine = base, .policies = {PolicyKind::Scoma, PolicyKind::LaNuma, PolicyKind::Scoma70}},
+        app(apps_, "Radix"));
     const auto &scoma = rs[0].metrics;
     const auto &lanuma = rs[1].metrics;
     const auto &s70 = rs[2].metrics;
@@ -74,8 +75,9 @@ TEST_F(Behaviour, ScomaSeventyTradesPageOutsForFewerRemoteMisses)
 TEST_F(Behaviour, DynFcfsNeverPagesOut)
 {
     MachineConfig base;
-    auto rs = runPolicySweep(base, app(apps_, "FFT"),
-                             {PolicyKind::Scoma, PolicyKind::DynFcfs});
+    auto rs = runPolicySweep(
+        RunSpec{.machine = base, .policies = {PolicyKind::Scoma, PolicyKind::DynFcfs}},
+        app(apps_, "FFT"));
     // Paper Table 5: "Page-outs do not occur in Dyn-FCFS."
     EXPECT_EQ(rs[1].metrics.clientPageOuts, 0u);
 }
@@ -83,9 +85,9 @@ TEST_F(Behaviour, DynFcfsNeverPagesOut)
 TEST_F(Behaviour, AdaptivePoliciesCutPageOutsBelowScomaSeventy)
 {
     MachineConfig base;
-    auto rs = runPolicySweep(base, app(apps_, "Barnes"),
-                             {PolicyKind::Scoma, PolicyKind::Scoma70,
-                              PolicyKind::DynLru});
+    auto rs = runPolicySweep(
+        RunSpec{.machine = base, .policies = {PolicyKind::Scoma, PolicyKind::Scoma70, PolicyKind::DynLru}},
+        app(apps_, "Barnes"));
     // Paper Table 5 vs Table 4: the adaptive configurations
     // significantly reduce client page-outs versus SCOMA-70.
     EXPECT_LT(rs[2].metrics.clientPageOuts,
@@ -95,17 +97,18 @@ TEST_F(Behaviour, AdaptivePoliciesCutPageOutsBelowScomaSeventy)
 TEST_F(Behaviour, AdaptiveBeatsLanumaOnCapacityBoundApp)
 {
     MachineConfig base;
-    auto rs = runPolicySweep(base, app(apps_, "Ocean"),
-                             {PolicyKind::Scoma, PolicyKind::LaNuma,
-                              PolicyKind::DynFcfs});
+    auto rs = runPolicySweep(
+        RunSpec{.machine = base, .policies = {PolicyKind::Scoma, PolicyKind::LaNuma, PolicyKind::DynFcfs}},
+        app(apps_, "Ocean"));
     EXPECT_LT(rs[2].metrics.execCycles, rs[1].metrics.execCycles);
 }
 
 TEST_F(Behaviour, Mp3dIsCommunicationDominated)
 {
     MachineConfig base;
-    auto rs = runPolicySweep(base, app(apps_, "MP3D"),
-                             {PolicyKind::Scoma, PolicyKind::LaNuma});
+    auto rs = runPolicySweep(
+        RunSpec{.machine = base, .policies = {PolicyKind::Scoma, PolicyKind::LaNuma}},
+        app(apps_, "MP3D"));
     // Paper: communication-related traffic costs the same in either
     // mode, so MP3D shows no significant difference (within 20%).
     const double ratio =
@@ -118,8 +121,9 @@ TEST_F(Behaviour, Mp3dIsCommunicationDominated)
 TEST_F(Behaviour, ScomaAllocatesMoreFramesWithLowerUtilization)
 {
     MachineConfig base;
-    auto rs = runPolicySweep(base, app(apps_, "FFT"),
-                             {PolicyKind::Scoma, PolicyKind::LaNuma});
+    auto rs = runPolicySweep(
+        RunSpec{.machine = base, .policies = {PolicyKind::Scoma, PolicyKind::LaNuma}},
+        app(apps_, "FFT"));
     // Paper Table 3's memory-consumption claim.  (The utilization
     // ordering is a paper-scale property; at Small scale the sparse
     // private/home frames dominate both columns, so here we only
@@ -138,10 +142,10 @@ TEST_F(Behaviour, DramPitSlowsLanumaOnlyModestly)
     // a few percent.
     MachineConfig sram;
     sram.policy = PolicyKind::LaNuma;
-    RunMetrics s = runOnce(sram, app(apps_, "LU"));
+    RunMetrics s = runOnce(RunSpec{.machine = sram}, app(apps_, "LU"));
     MachineConfig dram = sram;
     dram.pitLatency = 10;
-    RunMetrics d = runOnce(dram, app(apps_, "LU"));
+    RunMetrics d = runOnce(RunSpec{.machine = dram}, app(apps_, "LU"));
     const double slowdown = static_cast<double>(d.execCycles) /
                             static_cast<double>(s.execCycles);
     EXPECT_GE(slowdown, 1.0);
