@@ -143,6 +143,12 @@ struct BenchOptions {
     std::vector<AppSpec> apps;
     std::string reportPath; //!< empty when --report was not given
     bool list = false;
+    // KV workload knobs (bench/kv_sweep.cc): 0 / negative / empty
+    // mean "use the scale preset / sweep every value".
+    std::uint64_t kvKeys = 0;
+    std::uint64_t kvRequests = 0;
+    double kvTheta = -1.0;
+    std::string kvMix;
 
     static BenchOptions
     parse(int argc, char **argv)
@@ -185,6 +191,19 @@ struct BenchOptions {
         }
         if (const char *v = resolve(argc, argv, "PRISM_TRACE_FILE"))
             o.traceFile = v;
+        o.kvKeys = parseKnobU64("PRISM_KV_KEYS/--kv-keys",
+                                resolve(argc, argv, "PRISM_KV_KEYS"),
+                                0, 1);
+        o.kvRequests =
+            parseKnobU64("PRISM_KV_REQUESTS/--kv-requests",
+                         resolve(argc, argv, "PRISM_KV_REQUESTS"), 0,
+                         1);
+        o.kvTheta = parseKnobReal("PRISM_KV_THETA/--kv-theta",
+                                  resolve(argc, argv,
+                                          "PRISM_KV_THETA"),
+                                  -1.0, 0.0, 0.9999);
+        if (const char *v = resolve(argc, argv, "PRISM_KV_MIX"))
+            o.kvMix = v;
         if ((o.frontend == FrontendKind::Record ||
              o.frontend == FrontendKind::Replay) &&
             o.traceFile.empty()) {
@@ -274,13 +293,8 @@ struct BenchOptions {
     static unsigned
     parseCount(const char *what, const char *s, unsigned def)
     {
-        if (!s)
-            return def;
-        char *end = nullptr;
-        long v = std::strtol(s, &end, 10);
-        if (end == s || *end != '\0' || v < 1)
-            fatal("%s must be a positive integer (got '%s')", what, s);
-        return static_cast<unsigned>(v);
+        return static_cast<unsigned>(
+            parseKnobU64(what, s, def, 1, ~0U));
     }
 
     static ProtocolScheme

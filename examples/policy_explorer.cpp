@@ -15,6 +15,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/env.hh"
 #include "core/machine.hh"
 #include "workload/apps.hh"
 #include "workload/workload.hh"
@@ -81,15 +82,19 @@ main(int argc, char **argv)
                     : !std::strcmp(s, "tiny") ? AppScale::Tiny
                                               : AppScale::Small;
         } else if (!std::strcmp(argv[i], "--cap")) {
-            cap_pct = std::atof(next());
+            cap_pct = parseKnobReal("--cap", next(), 0.7, 0.0, 1.0);
         } else if (!std::strcmp(argv[i], "--l1")) {
-            cfg.l1Bytes = std::atoi(next());
+            cfg.l1Bytes = static_cast<std::uint32_t>(
+                parseKnobU64("--l1", next(), 0, 1, ~0U));
         } else if (!std::strcmp(argv[i], "--l2")) {
-            cfg.l2Bytes = std::atoi(next());
+            cfg.l2Bytes = static_cast<std::uint32_t>(
+                parseKnobU64("--l2", next(), 0, 1, ~0U));
         } else if (!std::strcmp(argv[i], "--nodes")) {
-            cfg.numNodes = std::atoi(next());
+            cfg.numNodes = static_cast<std::uint32_t>(
+                parseKnobU64("--nodes", next(), 0, 1, ~0U));
         } else if (!std::strcmp(argv[i], "--procs")) {
-            cfg.procsPerNode = std::atoi(next());
+            cfg.procsPerNode = static_cast<std::uint32_t>(
+                parseKnobU64("--procs", next(), 0, 1, ~0U));
         } else if (!std::strcmp(argv[i], "--migrate")) {
             cfg.migrationEnabled = true;
         } else if (!std::strcmp(argv[i], "--stats")) {

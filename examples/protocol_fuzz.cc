@@ -20,6 +20,7 @@
 #include <cstring>
 
 #include "check/explorer.hh"
+#include "core/env.hh"
 
 using namespace prism;
 
@@ -87,11 +88,13 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (const char *v = want("--seed")) {
-            opt.seed = std::strtoull(v, nullptr, 10);
+            opt.seed = parseKnobU64("--seed", v, 0, 0);
         } else if (const char *v = want("--ops")) {
-            opt.totalOps = std::strtoul(v, nullptr, 10);
+            opt.totalOps = static_cast<std::uint32_t>(
+                parseKnobU64("--ops", v, 0, 1, ~0U));
         } else if (const char *v = want("--rounds")) {
-            rounds = std::strtoul(v, nullptr, 10);
+            rounds = static_cast<std::uint32_t>(
+                parseKnobU64("--rounds", v, 0, 1, ~0U));
         } else if (const char *v = want("--policy")) {
             opt.policy = policyFromName(v);
         } else if (const char *v = want("--protocol")) {
@@ -103,9 +106,11 @@ main(int argc, char **argv)
                 return 2;
             }
         } else if (const char *v = want("--jitter")) {
-            opt.jitterMax = std::strtoul(v, nullptr, 10);
+            opt.jitterMax = static_cast<std::uint32_t>(
+                parseKnobU64("--jitter", v, 0, 0, ~0U));
         } else if (const char *v = want("--mutate-skip-invals")) {
-            opt.mutationSkipInvals = std::strtoul(v, nullptr, 10);
+            opt.mutationSkipInvals = static_cast<std::uint32_t>(
+                parseKnobU64("--mutate-skip-invals", v, 0, 0, ~0U));
         } else if (const char *v = want("--replay")) {
             replay = v;
         } else {

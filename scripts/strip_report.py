@@ -7,9 +7,12 @@ Prints the report with the keys that may legitimately differ between
 an execution and a replay of the same simulation removed:
 `generatedAt` (wall-clock timestamp) and the frontend-provenance
 fields `frontend`, `traceWorkload` and `traceOps` (run-report config
-and bench-report top level).  The output is canonical JSON, so two
-stripped reports are byte-comparable with `diff`/`cmp`; CI uses this
-for the replay-determinism check (docs/TRACE.md).
+and bench-report top level).  Histogram entries with component
+`workload` (e.g. the KV store's per-op request latencies) are dropped
+too: they come from the workload body itself, which a trace replay
+does not run.  The output is canonical JSON, so two stripped reports
+are byte-comparable with `diff`/`cmp`; CI uses this for the
+replay-determinism check (docs/TRACE.md).
 """
 
 import json
@@ -23,7 +26,10 @@ def strip(doc):
         return {k: strip(v) for k, v in doc.items()
                 if k not in STRIP_KEYS}
     if isinstance(doc, list):
-        return [strip(v) for v in doc]
+        return [strip(v) for v in doc
+                if not (isinstance(v, dict)
+                        and v.get("component") == "workload"
+                        and "counts" in v)]
     return doc
 
 

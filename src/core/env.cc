@@ -1,5 +1,7 @@
 #include "core/env.hh"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,7 +16,7 @@ namespace {
 const EnvKnob kKnobs[] = {
     {"PRISM_SCALE", "--scale", "paper|small|tiny", "paper",
      "application problem-size preset"},
-    {"PRISM_APPS", "--apps", "comma-separated name substrings", "all eight",
+    {"PRISM_APPS", "--apps", "comma-separated name substrings", "all nine",
      "application filter (e.g. Water selects both Water variants)"},
     {"PRISM_JOBS", "--jobs", "N >= 1", "hardware threads",
      "worker threads for the parallel sweep runner"},
@@ -34,6 +36,14 @@ const EnvKnob kKnobs[] = {
      "message-log filter: only this global page"},
     {"PRISM_TRACE_LI", nullptr, "line index", "unset",
      "message-log filter: only this line index"},
+    {"PRISM_KV_KEYS", "--kv-keys", "N >= 1", "scale preset",
+     "(kv) initial keyspace size for the KV workload"},
+    {"PRISM_KV_REQUESTS", "--kv-requests", "N >= 1", "scale preset",
+     "(kv) total open-loop requests per KV run"},
+    {"PRISM_KV_THETA", "--kv-theta", "0 <= x < 1 (0 = uniform)", "sweep",
+     "(kv) Zipfian skew of the key-popularity distribution"},
+    {"PRISM_KV_MIX", "--kv-mix", "a|b|c|d|e", "sweep",
+     "(kv) restrict kv_sweep to one YCSB-style mix"},
     {"PRISM_PROPERTY_SEED", nullptr, "N", "per-suite",
      "(tests) seed for property/fuzz suites"},
     {"PRISM_FUZZ_PROTOCOL", nullptr, "msi|mesi|moesi|mesif", "sweep",
@@ -84,6 +94,47 @@ resolveEnv(const char *env)
               env);
     }
     return std::getenv(env);
+}
+
+std::uint64_t
+parseKnobU64(const char *what, const char *s, std::uint64_t def,
+             std::uint64_t min_value, std::uint64_t max_value)
+{
+    if (!s)
+        return def;
+    // strtoull silently wraps negatives ("-5" parses as 2^64-5) and
+    // skips leading whitespace; insist on a bare digit string so both
+    // shapes fail fast with the knob name instead of truncating.
+    if (s[0] < '0' || s[0] > '9')
+        fatal("%s must be an unsigned integer (got '%s')", what, s);
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0')
+        fatal("%s must be an unsigned integer (got '%s')", what, s);
+    if (errno == ERANGE || v > max_value)
+        fatal("%s out of range: '%s' exceeds %llu", what, s,
+              static_cast<unsigned long long>(max_value));
+    if (v < min_value)
+        fatal("%s must be >= %llu (got '%s')", what,
+              static_cast<unsigned long long>(min_value), s);
+    return v;
+}
+
+double
+parseKnobReal(const char *what, const char *s, double def, double lo,
+              double hi)
+{
+    if (!s)
+        return def;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(s, &end);
+    if (end == s || *end != '\0' || !std::isfinite(v))
+        fatal("%s must be a finite decimal (got '%s')", what, s);
+    if (errno == ERANGE || v < lo || v > hi)
+        fatal("%s must be in [%g, %g] (got '%s')", what, lo, hi, s);
+    return v;
 }
 
 std::string

@@ -15,6 +15,7 @@
 #define PRISM_CORE_ENV_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace prism {
@@ -46,6 +47,24 @@ const char *resolveEnv(const char *env);
 
 /** The generated knob table for `--help` (env, flag, values, default). */
 std::string envHelpTable();
+
+/**
+ * Strict unsigned parse for a knob value: the whole of @p s must be a
+ * decimal integer in [@p min_value, @p max_value].  Trailing garbage
+ * ("4x"), a sign ("-3", "+4"), overflow, and out-of-range values are
+ * all fatal, naming the knob via @p what.  Null @p s returns @p def.
+ */
+std::uint64_t parseKnobU64(const char *what, const char *s,
+                           std::uint64_t def, std::uint64_t min_value,
+                           std::uint64_t max_value = ~0ULL);
+
+/**
+ * Strict floating-point parse for a knob value: the whole of @p s
+ * must be a finite decimal in [@p lo, @p hi]; anything else is fatal,
+ * naming the knob via @p what.  Null @p s returns @p def.
+ */
+double parseKnobReal(const char *what, const char *s, double def,
+                     double lo, double hi);
 
 } // namespace prism
 

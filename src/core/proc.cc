@@ -43,6 +43,12 @@ Proc::Proc(ProcId id, Node &node, Machine &machine,
 {
 }
 
+Tick
+Proc::localNow() const
+{
+    return eq_.now() + pendingCycles_;
+}
+
 CoTask
 Proc::flushTime()
 {

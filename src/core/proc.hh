@@ -69,6 +69,14 @@ class Proc
     /** Local time not yet reflected in the global clock. */
     Cycles pendingCycles() const { return pendingCycles_; }
 
+    /**
+     * This processor's local clock: global simulated time plus the
+     * locally accumulated cycles not yet drained into it.  Open-loop
+     * workloads use this to pace request arrivals and to timestamp
+     * per-request latencies.
+     */
+    Tick localNow() const;
+
     // --- Program interface -----------------------------------------------
 
     /** Charge @p cycles of non-memory computation. */

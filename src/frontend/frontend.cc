@@ -1,6 +1,10 @@
 #include "frontend/frontend.hh"
 
 #include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+#include "sim/logging.hh"
 
 namespace prism {
 
@@ -47,6 +51,45 @@ tracePathFor(const std::string &base, const std::string &app,
                suffix;
     }
     return base + "." + app + suffix;
+}
+
+namespace {
+
+std::mutex &
+claimMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::unordered_map<std::string, std::string> &
+claimMap()
+{
+    static std::unordered_map<std::string, std::string> claims;
+    return claims;
+}
+
+} // namespace
+
+void
+claimTracePath(const std::string &path, const std::string &app)
+{
+    std::lock_guard<std::mutex> lk(claimMutex());
+    auto [it, inserted] = claimMap().emplace(path, app);
+    if (!inserted && it->second != app) {
+        fatal("trace path collision: '%s' and '%s' both derive "
+              "'%s' for --trace-file; the second recording would "
+              "clobber the first (use a trailing '/' or a .ptrace "
+              "pattern so each app gets its own file)",
+              it->second.c_str(), app.c_str(), path.c_str());
+    }
+}
+
+void
+resetTracePathClaims()
+{
+    std::lock_guard<std::mutex> lk(claimMutex());
+    claimMap().clear();
 }
 
 } // namespace prism

@@ -36,6 +36,21 @@ bool frontendFromString(const char *s, FrontendKind *out);
 std::string tracePathFor(const std::string &base,
                          const std::string &app, std::size_t num_apps);
 
+/**
+ * Claim @p path for a recording of @p app.  When two apps in one
+ * sweep derive the same .ptrace path (e.g. a verbatim --trace-file
+ * with more than one recording, or app names that collapse to one
+ * derived filename), the second recording would silently clobber the
+ * first — that is fatal here, with both app names in the message.
+ * Re-claiming a path for the *same* app is fine (policy cells of one
+ * sweep share the calibration recording).  Thread-safe;
+ * process-lifetime state, cleared by resetTracePathClaims().
+ */
+void claimTracePath(const std::string &path, const std::string &app);
+
+/** Forget every recorded-path claim (test isolation only). */
+void resetTracePathClaims();
+
 } // namespace prism
 
 #endif // PRISM_FRONTEND_FRONTEND_HH

@@ -62,6 +62,12 @@ MetricRegistry::checkBindable(const MetricLabels &labels)
         fatal("metric '%s' registered after the registry was sealed",
               labels.fullName().c_str());
     }
+    checkUniqueName(labels);
+}
+
+void
+MetricRegistry::checkUniqueName(const MetricLabels &labels)
+{
     auto [it, inserted] = names_.emplace(labels.fullName(), 1);
     (void)it;
     if (!inserted) {
@@ -87,9 +93,24 @@ void
 MetricRegistry::bind(MetricLabels labels, ScopedHistogram *h,
                      std::string desc)
 {
+    checkBindable(labels);
+    bindHistogram(std::move(labels), h, std::move(desc));
+}
+
+void
+MetricRegistry::bindLate(MetricLabels labels, ScopedHistogram *h,
+                         std::string desc)
+{
+    checkUniqueName(labels);
+    bindHistogram(std::move(labels), h, std::move(desc));
+}
+
+void
+MetricRegistry::bindHistogram(MetricLabels labels, ScopedHistogram *h,
+                              std::string desc)
+{
     prism_assert(h != nullptr, "bind of null histogram");
     prism_assert(h->reg_ == nullptr, "histogram bound twice");
-    checkBindable(labels);
     h->reg_ = this;
     h->idx_ = static_cast<std::uint32_t>(histograms_.size());
     HistogramEntry e;

@@ -152,6 +152,17 @@ class MetricRegistry
     void bind(MetricLabels labels, ScopedHistogram *h,
               std::string desc = "");
 
+    /**
+     * Bind a *workload-owned* histogram, allowed after seal().  The
+     * registry is sealed when Machine construction finishes, but
+     * workloads attach their metrics (e.g. per-op-type KV latency)
+     * during Workload::setup(), which runs later.  Duplicate full
+     * names remain fatal; only the sealed check is waived, and only
+     * for histograms — the sealed counter index is never invalidated.
+     */
+    void bindLate(MetricLabels labels, ScopedHistogram *h,
+                  std::string desc = "");
+
     /** Bind a gauge; @p fn is sampled by sampleGauges(). */
     void bind(MetricLabels labels, ScopedGauge *g,
               std::function<double()> fn, std::string desc = "");
@@ -233,6 +244,9 @@ class MetricRegistry
     friend class ScopedGauge;
 
     void checkBindable(const MetricLabels &labels);
+    void checkUniqueName(const MetricLabels &labels);
+    void bindHistogram(MetricLabels labels, ScopedHistogram *h,
+                       std::string desc);
 
     void retireCounter(std::uint32_t idx, std::uint64_t final_value);
     void retireHistogram(std::uint32_t idx, const Histogram &final_state);

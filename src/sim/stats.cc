@@ -32,7 +32,14 @@ Histogram::quantile(double q) const
         const double frac =
             (rank - static_cast<double>(before)) /
             static_cast<double>(counts_[i]);
-        return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+        // Interpolation can land outside the observed range (a lone
+        // sample sits somewhere inside its bucket, not at the bucket
+        // midpoint); clamp so quantiles never under-run min() or
+        // overshoot max(), and a single-sample histogram reports that
+        // sample exactly.
+        return std::clamp(lo + (hi - lo) * std::clamp(frac, 0.0, 1.0),
+                          static_cast<double>(min_),
+                          static_cast<double>(max_));
     }
     return static_cast<double>(max_);
 }
@@ -40,11 +47,18 @@ Histogram::quantile(double q) const
 void
 Histogram::merge(const Histogram &other)
 {
+    if (other.n_ == 0)
+        return; // nothing to add; shape of an empty histogram is moot
+    if (n_ == 0 && bounds_ != other.bounds_) {
+        *this = other; // adopt: an empty histogram has no shape yet
+        return;
+    }
     prism_assert(bounds_ == other.bounds_,
                  "merging histograms with different bucket bounds");
     for (std::size_t i = 0; i < counts_.size(); ++i)
         counts_[i] += other.counts_[i];
     sum_ += other.sum_;
+    min_ = n_ ? std::min(min_, other.min_) : other.min_;
     n_ += other.n_;
     max_ = std::max(max_, other.max_);
 }

@@ -35,10 +35,14 @@ class Histogram
         ++n_;
         if (v > max_)
             max_ = v;
+        if (n_ == 1 || v < min_)
+            min_ = v;
     }
 
     std::uint64_t count() const { return n_; }
     std::uint64_t max() const { return max_; }
+    /** Smallest observed sample; 0 when empty. */
+    std::uint64_t min() const { return n_ ? min_ : 0; }
 
     double
     mean() const
@@ -52,15 +56,21 @@ class Histogram
      * the answer is exact only at bucket boundaries; the error is
      * bounded by the width of that bucket (for the power-of-two bounds
      * used for latency histograms, at most a factor of two).  The
-     * overflow bucket interpolates toward max().  Returns 0 when
-     * empty.
+     * result is clamped to [min(), max()], so a single-sample
+     * histogram reports that sample exactly at every quantile and no
+     * quantile can exceed the largest observed value.  Returns 0 when
+     * empty (never NaN).
      */
     double quantile(double q) const;
 
     /**
      * Accumulate @p other into this histogram.  Bucket bounds must be
      * identical (merging histograms of different shapes is a caller
-     * bug).
+     * bug), except that an *empty* histogram on either side is always
+     * a safe no-op / wholesale adoption regardless of shape: empty
+     * op-type histograms are legitimate (an open-loop mix with 0%
+     * scans never touches the scan histogram) and must not abort the
+     * report.
      */
     void merge(const Histogram &other);
 
@@ -73,6 +83,7 @@ class Histogram
     std::uint64_t sum_ = 0;
     std::uint64_t n_ = 0;
     std::uint64_t max_ = 0;
+    std::uint64_t min_ = 0;
 };
 
 } // namespace prism

@@ -3,6 +3,7 @@
 #include "sim/logging.hh"
 #include "workload/barnes.hh"
 #include "workload/fft.hh"
+#include "workload/kvstore.hh"
 #include "workload/lu.hh"
 #include "workload/mp3d.hh"
 #include "workload/ocean.hh"
@@ -79,6 +80,7 @@ standardApps(AppScale scale)
     out.push_back(spec<RadixWorkload>("Radix", radix));
     out.push_back(spec<WaterNsqWorkload>("Water-Nsq", nsq));
     out.push_back(spec<WaterSpaWorkload>("Water-Spa", spa));
+    out.push_back(spec<KvStoreWorkload>("KV", kvParamsFor(scale)));
     return out;
 }
 

@@ -1,6 +1,7 @@
 /**
  * @file
- * Registry of the eight SPLASH-like applications (paper Table 2).
+ * Registry of the standard applications: the eight SPLASH-like
+ * kernels (paper Table 2) plus the partitioned KV store (kvstore.hh).
  */
 
 #ifndef PRISM_WORKLOAD_APPS_HH
@@ -28,7 +29,8 @@ struct AppSpec {
     std::function<std::unique_ptr<Workload>()> make;
 };
 
-/** All eight applications at the given scale, in Table 2 order. */
+/** All standard applications at the given scale (Table 2 order,
+ *  then KV). */
 std::vector<AppSpec> standardApps(AppScale scale);
 
 /** One application by name (fatal if unknown). */

@@ -88,6 +88,7 @@ runOnce(const RunSpec &spec, const AppSpec &app, RunReport *report)
         if (spec.traceFile.empty())
             fatal("frontend=record requires a trace file "
                   "(--trace-file)");
+        claimTracePath(spec.traceFile, app.name);
         std::shared_ptr<const RecordedTrace> trace;
         RunMetrics r = runExec(spec.machine, app, report, &trace);
         trace->writeFile(spec.traceFile);
@@ -169,6 +170,7 @@ runPolicySweep(const RunSpec &spec, const AppSpec &app)
         if (spec.traceFile.empty())
             fatal("frontend=record requires a trace file "
                   "(--trace-file)");
+        claimTracePath(spec.traceFile, app.name);
         std::shared_ptr<const RecordedTrace> recorded;
         scoma = runExec(calibrationConfig(spec.machine), app,
                         &scoma_report, &recorded);

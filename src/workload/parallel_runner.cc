@@ -14,11 +14,8 @@ unsigned
 defaultJobs()
 {
     if (const char *e = resolveEnv("PRISM_JOBS")) {
-        char *end = nullptr;
-        long v = std::strtol(e, &end, 10);
-        if (end == e || *end != '\0' || v < 1)
-            fatal("PRISM_JOBS='%s' is not a positive integer", e);
-        return static_cast<unsigned>(v);
+        return static_cast<unsigned>(
+            parseKnobU64("PRISM_JOBS", e, 1, 1, ~0U));
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
@@ -34,11 +31,8 @@ jobsFromArgs(int argc, char **argv)
         else if (!std::strncmp(argv[i], "--jobs=", 7))
             val = argv[i] + 7;
         if (val) {
-            char *end = nullptr;
-            long v = std::strtol(val, &end, 10);
-            if (end == val || *end != '\0' || v < 1)
-                fatal("--jobs '%s' is not a positive integer", val);
-            return static_cast<unsigned>(v);
+            return static_cast<unsigned>(
+                parseKnobU64("--jobs", val, 1, 1, ~0U));
         }
     }
     return defaultJobs();

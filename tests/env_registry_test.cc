@@ -126,6 +126,83 @@ TEST(EnvRegistryDeath, ReplayWithoutTraceFileDies)
                 "requires --trace-file");
 }
 
+// --- Malformed numeric knob values (regressions) ---------------------
+//
+// strtoull-based parsing used to truncate silently: "--jobs 4x" ran
+// with 4 workers, "--jobs -5" wrapped to 2^64-5 and was clamped into
+// a nonsense thread count.  Every numeric knob must instead fail fast
+// naming the knob it came from.
+
+TEST(EnvRegistryDeath, TrailingGarbageInNumericFlagDies)
+{
+    EXPECT_EXIT(parse({"--jobs", "4x"}), testing::ExitedWithCode(1),
+                "--jobs must be an unsigned integer .*'4x'");
+    EXPECT_EXIT(parse({"--kv-keys", "1024k"}),
+                testing::ExitedWithCode(1),
+                "--kv-keys must be an unsigned integer .*'1024k'");
+}
+
+TEST(EnvRegistryDeath, NegativeValueForUnsignedKnobDies)
+{
+    EXPECT_EXIT(parse({"--jobs", "-5"}), testing::ExitedWithCode(1),
+                "--jobs must be an unsigned integer .*'-5'");
+    EXPECT_EXIT(parse({"--kv-requests", "-1"}),
+                testing::ExitedWithCode(1),
+                "--kv-requests must be an unsigned integer");
+}
+
+TEST(EnvRegistryDeath, ZeroBelowMinimumDies)
+{
+    EXPECT_EXIT(parse({"--jobs", "0"}), testing::ExitedWithCode(1),
+                "--jobs must be >= 1");
+    EXPECT_EXIT(parse({"--kv-keys", "0"}), testing::ExitedWithCode(1),
+                "--kv-keys must be >= 1");
+}
+
+TEST(EnvRegistryDeath, OverflowDies)
+{
+    EXPECT_EXIT(parse({"--jobs", "99999999999999999999"}),
+                testing::ExitedWithCode(1), "--jobs out of range");
+}
+
+TEST(EnvRegistryDeath, MalformedEnvValueDiesNamingTheEnvVar)
+{
+    // The same strictness must apply on the env side of the
+    // precedence rule, and the message must name the source.
+    ScopedEnv e("PRISM_JOBS", "4x");
+    EXPECT_EXIT(parse({}), testing::ExitedWithCode(1),
+                "PRISM_JOBS.*must be an unsigned integer");
+}
+
+TEST(EnvRegistryDeath, KvThetaOutOfRangeDies)
+{
+    EXPECT_EXIT(parse({"--kv-theta", "1.5"}),
+                testing::ExitedWithCode(1),
+                "--kv-theta must be in \\[0, 0.9999\\]");
+    EXPECT_EXIT(parse({"--kv-theta", "0.9x"}),
+                testing::ExitedWithCode(1),
+                "--kv-theta must be a finite decimal");
+    EXPECT_EXIT(parse({"--kv-theta", "nan"}),
+                testing::ExitedWithCode(1),
+                "--kv-theta must be a finite decimal");
+}
+
+TEST(EnvRegistry, KvKnobsFollowThePrecedenceRule)
+{
+    ScopedEnv k("PRISM_KV_KEYS", "2048");
+    ScopedEnv t("PRISM_KV_THETA", "0.6");
+    const BenchOptions o = parse({});
+    EXPECT_EQ(o.kvKeys, 2048u);
+    EXPECT_DOUBLE_EQ(o.kvTheta, 0.6);
+    const BenchOptions f =
+        parse({"--kv-keys", "4096", "--kv-theta", "0.99",
+               "--kv-mix", "b", "--kv-requests=8192"});
+    EXPECT_EQ(f.kvKeys, 4096u);
+    EXPECT_DOUBLE_EQ(f.kvTheta, 0.99);
+    EXPECT_EQ(f.kvMix, "b");
+    EXPECT_EQ(f.kvRequests, 8192u);
+}
+
 TEST(EnvRegistryDeath, HelpExitsCleanly)
 {
     // The table goes to stdout (EXPECT_EXIT only captures stderr), so

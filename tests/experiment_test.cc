@@ -114,7 +114,8 @@ TEST(Experiment, AppRegistryScalesExist)
     for (AppScale s :
          {AppScale::Paper, AppScale::Small, AppScale::Tiny}) {
         auto apps = standardApps(s);
-        EXPECT_EQ(apps.size(), 8u);
+        EXPECT_EQ(apps.size(), 9u); // Table 2's eight kernels + KV
+        EXPECT_EQ(apps.back().name, "KV");
         for (auto &a : apps)
             EXPECT_NE(a.make(), nullptr);
     }

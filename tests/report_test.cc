@@ -12,14 +12,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/machine.hh"
+#include "sim/stats.hh"
 #include "obs/report.hh"
 #include "obs/trace_sink.hh"
 #include "workload/workload.hh"
@@ -293,6 +296,104 @@ TEST(Report, PrismTraceWritesChromeTraceJson)
     EXPECT_NE(trace.find("\"read2\""), std::string::npos);
     EXPECT_NE(trace.find("process_name"), std::string::npos);
     std::remove(path.c_str());
+}
+
+// --- Histogram edge cases (regressions) -----------------------------
+//
+// An empty or single-sample histogram used to interpolate across the
+// whole open-ended top bucket: quantile() could return garbage far
+// above any observed sample (or NaN from 0/0 bucket math), and
+// merge() asserted on shape even when one side was empty — which an
+// all-read KV mix produces legitimately for its update/insert/scan
+// histograms.
+
+std::vector<std::uint64_t>
+testBounds()
+{
+    return {10, 100, 1000};
+}
+
+TEST(HistogramEdge, EmptyHistogramQuantilesAreZeroNotNaN)
+{
+    const Histogram h(testBounds());
+    EXPECT_EQ(h.count(), 0u);
+    for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+        const double v = h.quantile(q);
+        EXPECT_EQ(v, 0.0) << "q=" << q;
+        EXPECT_FALSE(std::isnan(v)) << "q=" << q;
+    }
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramEdge, SingleSampleReportsItselfAtEveryQuantile)
+{
+    Histogram h(testBounds());
+    h.sample(42);
+    for (double q : {0.0, 0.5, 0.95, 0.99, 1.0})
+        EXPECT_EQ(h.quantile(q), 42.0) << "q=" << q;
+
+    // Single sample in the open-ended top bucket: clamping to
+    // [min, max] is what keeps p99 from running off to infinity.
+    Histogram top(testBounds());
+    top.sample(5000);
+    EXPECT_EQ(top.quantile(0.99), 5000.0);
+    EXPECT_EQ(top.quantile(0.50), 5000.0);
+}
+
+TEST(HistogramEdge, QuantileNeverExceedsObservedRange)
+{
+    Histogram h(testBounds());
+    h.sample(3);
+    h.sample(7);
+    h.sample(2000);
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+        const double v = h.quantile(q);
+        EXPECT_GE(v, static_cast<double>(h.min())) << "q=" << q;
+        EXPECT_LE(v, static_cast<double>(h.max())) << "q=" << q;
+    }
+}
+
+TEST(HistogramEdge, MergeWithEmptySideIsSafe)
+{
+    Histogram filled(testBounds());
+    filled.sample(50);
+    filled.sample(500);
+
+    // Empty RHS: no-op, even with different (here: no) bounds.
+    Histogram empty_other{std::vector<std::uint64_t>{}};
+    filled.merge(empty_other);
+    EXPECT_EQ(filled.count(), 2u);
+    EXPECT_EQ(filled.max(), 500u);
+
+    // Empty LHS of a different shape: wholesale adoption.
+    Histogram empty_lhs{std::vector<std::uint64_t>{}};
+    empty_lhs.merge(filled);
+    EXPECT_EQ(empty_lhs.count(), 2u);
+    EXPECT_EQ(empty_lhs.min(), 50u);
+    EXPECT_EQ(empty_lhs.max(), 500u);
+    EXPECT_EQ(empty_lhs.quantile(0.99), filled.quantile(0.99));
+
+    // Empty-empty merge: still empty, still quantile-safe.
+    Histogram a{std::vector<std::uint64_t>{}};
+    Histogram b(testBounds());
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.quantile(0.99), 0.0);
+}
+
+TEST(HistogramEdge, MergeTracksMinAcrossSides)
+{
+    Histogram a(testBounds());
+    a.sample(200);
+    Histogram b(testBounds());
+    b.sample(5);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.min(), 5u);
+    EXPECT_EQ(a.max(), 200u);
+    EXPECT_GE(a.quantile(0.01), 5.0);
 }
 
 TEST(Report, MessageRingRecordsRecentTraffic)

@@ -221,15 +221,31 @@ TEST(Histogram, QuantileEmptyIsZero)
 TEST(Histogram, QuantileInterpolatesWithinBucket)
 {
     Histogram h({10, 100, 1000});
-    // 10 samples all in [10, 100).
-    for (int i = 0; i < 10; ++i)
+    // 10 samples all in [10, 100), spanning the bucket.
+    h.sample(10);
+    h.sample(99);
+    for (int i = 0; i < 8; ++i)
         h.sample(50);
     // Median rank 5 of 10 -> halfway through the bucket [10, 100).
     EXPECT_DOUBLE_EQ(h.quantile(0.5), 55.0);
     EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
-    EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+    // Interpolation toward the bucket's upper bound (100) is clamped
+    // to the largest observed sample.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 99.0);
     // The error bound: the true p50 (50) is within one bucket width.
     EXPECT_NEAR(h.quantile(0.5), 50.0, 100.0 - 10.0);
+}
+
+TEST(Histogram, QuantileClampsToObservedRange)
+{
+    // A lone sample sits somewhere inside its bucket, not at the
+    // bucket midpoint: every quantile reports the sample itself.
+    Histogram h({10, 100, 1000});
+    h.sample(42);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 42.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 42.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 42.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 42.0);
 }
 
 TEST(Histogram, QuantileOverflowBucketUsesMax)

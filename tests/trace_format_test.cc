@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "frontend/frontend.hh"
 #include "frontend/ptrace.hh"
 #include "mem/addr.hh"
 
@@ -239,6 +240,51 @@ TEST(TraceFormatDeath, MissingFileDies)
     EXPECT_EXIT(
         RecordedTrace::readFile("/nonexistent/dir/nope.ptrace"),
         testing::ExitedWithCode(1), "cannot (open|read)");
+}
+
+// --- Trace-path derivation and collision claims ----------------------
+//
+// Regression: two apps whose names collapse to the same derived
+// .ptrace filename (or a verbatim --trace-file shared by a multi-app
+// sweep) used to clobber each other's recording silently; the replay
+// then ran the wrong workload's stream.  claimTracePath() makes the
+// second claim fatal, naming both apps.
+
+TEST(TracePath, SingleAppUsesBaseVerbatim)
+{
+    EXPECT_EQ(tracePathFor("run.ptrace", "FFT", 1), "run.ptrace");
+    EXPECT_EQ(tracePathFor("dir/", "FFT", 1), "dir/FFT.ptrace");
+}
+
+TEST(TracePath, MultiAppDerivesPerAppNames)
+{
+    EXPECT_EQ(tracePathFor("dir/", "FFT", 9), "dir/FFT.ptrace");
+    EXPECT_EQ(tracePathFor("run.ptrace", "FFT", 9),
+              "run.FFT.ptrace");
+    EXPECT_NE(tracePathFor("run.ptrace", "FFT", 9),
+              tracePathFor("run.ptrace", "LU", 9));
+}
+
+TEST(TracePath, ReclaimBySameAppIsIdempotent)
+{
+    resetTracePathClaims();
+    claimTracePath("claim_same.ptrace", "FFT");
+    claimTracePath("claim_same.ptrace", "FFT"); // sweep cells share it
+    claimTracePath("claim_other.ptrace", "LU"); // distinct path is fine
+    resetTracePathClaims();
+    // After a reset the path is claimable by a different app.
+    claimTracePath("claim_same.ptrace", "LU");
+    resetTracePathClaims();
+}
+
+TEST(TracePathDeath, CollidingAppsDieNamingBoth)
+{
+    resetTracePathClaims();
+    claimTracePath("collide.ptrace", "FFT");
+    EXPECT_EXIT(claimTracePath("collide.ptrace", "LU"),
+                testing::ExitedWithCode(1),
+                "trace path collision.*FFT.*LU.*collide\\.ptrace");
+    resetTracePathClaims();
 }
 
 } // namespace
