@@ -135,6 +135,9 @@ appsFromEnv(AppScale scale)
  */
 struct BenchOptions {
     AppScale scale = AppScale::Paper;
+    /** Machine topology preset; defaults to the paper's 8x4. */
+    std::uint32_t numNodes = 8;
+    std::uint32_t procsPerNode = 4;
     unsigned jobs = 1;
     unsigned jobsIntra = 1; //!< event-loop shards per simulation
     ProtocolScheme protocol = ProtocolScheme::Mesi;
@@ -172,6 +175,15 @@ struct BenchOptions {
         BenchOptions o;
         if (const char *v = resolve(argc, argv, "PRISM_SCALE"))
             o.scale = parseScale(v);
+        if (const char *v = resolve(argc, argv, "PRISM_MACHINE")) {
+            MachineConfig shape;
+            if (!machineFromString(v, &shape)) {
+                fatal("unknown machine preset '%s' (valid: paper or "
+                      "<nodes>x<procs>, e.g. 128x8)", v);
+            }
+            o.numNodes = shape.numNodes;
+            o.procsPerNode = shape.procsPerNode;
+        }
         o.apps =
             filterApps(o.scale, resolve(argc, argv, "PRISM_APPS"));
         o.jobs = parseCount("PRISM_JOBS/--jobs",
@@ -232,6 +244,22 @@ struct BenchOptions {
             }
         }
         return o;
+    }
+
+    /**
+     * A MachineConfig seeded with the parsed topology, protocol and
+     * shard count — the common starting point for every bench's base
+     * machine.
+     */
+    MachineConfig
+    baseMachine() const
+    {
+        MachineConfig m;
+        m.numNodes = numNodes;
+        m.procsPerNode = procsPerNode;
+        m.jobsIntra = jobsIntra;
+        m.protocol = protocol;
+        return m;
     }
 
     /** True when a bench-specific flag (e.g. "--ccnuma") was given. */
@@ -314,8 +342,9 @@ inline void
 banner(const char *what, const BenchOptions &o, bool show_jobs = true)
 {
     std::printf("# PRISM reproduction: %s\n", what);
-    std::printf("# machine: 8 nodes x 4 procs, 8KB L1 / 32KB L2, "
-                "4KB pages, 64B lines\n");
+    std::printf("# machine: %u nodes x %u procs, 8KB L1 / 32KB L2, "
+                "4KB pages, 64B lines\n",
+                o.numNodes, o.procsPerNode);
     std::printf("# scale: %s (PRISM_SCALE/--scale to change)",
                 scaleName(o.scale));
     if (show_jobs)

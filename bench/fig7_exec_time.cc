@@ -45,9 +45,7 @@ main(int argc, char **argv)
         std::printf(" %10s", policyName(pk));
     std::printf("  (exec cycles, SCOMA)\n");
 
-    MachineConfig base; // paper machine
-    base.jobsIntra = opts.jobsIntra;
-    base.protocol = opts.protocol;
+    MachineConfig base = opts.baseMachine();
     const auto &apps = opts.apps;
     const auto results =
         runSweepsParallel(RunSpec{.machine = base,

@@ -111,9 +111,7 @@ main(int argc, char **argv)
     std::printf("  (read/scan p99 cycles; exec rel. SCOMA in "
                 "parentheses)\n");
 
-    MachineConfig base;
-    base.jobsIntra = opts.jobsIntra;
-    base.protocol = opts.protocol;
+    MachineConfig base = opts.baseMachine();
     const auto results =
         runSweepsParallel(RunSpec{.machine = base,
                                   .policies = policies,

@@ -175,7 +175,7 @@ BENCHMARK(BM_PitReverseHash);
 void
 BM_DirectoryAccess(benchmark::State &state)
 {
-    Directory d(8192, 2, 22, 64);
+    Directory d(8192, 2, 22, 64, 8);
     for (GPage gp = 0; gp < 64; ++gp)
         d.createPage(gp, DirState::Owned, 0);
     Rng rng(1);
@@ -185,6 +185,112 @@ BM_DirectoryAccess(benchmark::State &state)
     }
 }
 BENCHMARK(BM_DirectoryAccess);
+
+/**
+ * SharerSet hot-path micros.  The Arg is the machine width in nodes:
+ * 64 exercises the inline single-word representation (the <=64-node
+ * fast path every paper-sized run lives on), 1024 the pooled
+ * multi-word spill.  Add/remove/test churn on one set.
+ */
+void
+BM_SharerSet_Churn(benchmark::State &state)
+{
+    const std::uint32_t nodes = static_cast<std::uint32_t>(state.range(0));
+    SharerSet s;
+    s.add(nodes - 1); // pre-size so the loop never reallocates
+    Rng rng(7);
+    for (auto _ : state) {
+        NodeId n = static_cast<NodeId>(rng.below(nodes));
+        s.add(n);
+        benchmark::DoNotOptimize(s.test(n ^ 1));
+        s.remove(n);
+    }
+}
+BENCHMARK(BM_SharerSet_Churn)->Arg(64)->Arg(1024);
+
+/**
+ * Invalidation fan-out iteration: first()/next() word-scan over a set
+ * with every 8th node a member (the directory's per-line sharer
+ * density under a scattered read-shared page).
+ */
+void
+BM_SharerSet_Iterate(benchmark::State &state)
+{
+    const std::uint32_t nodes = static_cast<std::uint32_t>(state.range(0));
+    SharerSet s;
+    for (NodeId n = 0; n < nodes; n += 8)
+        s.add(n);
+    for (auto _ : state) {
+        std::uint32_t members = 0;
+        for (NodeId n = s.first(); n != kInvalidNode; n = s.next(n))
+            ++members;
+        benchmark::DoNotOptimize(members);
+    }
+    state.SetItemsProcessed(state.iterations() * (nodes / 8));
+}
+BENCHMARK(BM_SharerSet_Iterate)->Arg(64)->Arg(1024);
+
+/** Snapshot-for-fan-out copy (fromRef) as the protocol handler does. */
+void
+BM_SharerSet_Snapshot(benchmark::State &state)
+{
+    const std::uint32_t nodes = static_cast<std::uint32_t>(state.range(0));
+    SharerSet s;
+    for (NodeId n = 0; n < nodes; n += 8)
+        s.add(n);
+    SharerRef ref(s.words(), s.numWords());
+    for (auto _ : state) {
+        SharerSet copy = SharerSet::fromRef(ref);
+        copy.remove(0);
+        benchmark::DoNotOptimize(copy.count());
+    }
+}
+BENCHMARK(BM_SharerSet_Snapshot)->Arg(64)->Arg(1024);
+
+/**
+ * Directory line mutation through the SoA arena: the LineRef
+ * state/owner/sharer stores the home-side protocol handler issues per
+ * request.  Arg is the machine width.
+ */
+void
+BM_Directory_LineMutate(benchmark::State &state)
+{
+    const std::uint32_t nodes = static_cast<std::uint32_t>(state.range(0));
+    Directory d(8192, 2, 22, 64, nodes);
+    for (GPage gp = 0; gp < 64; ++gp)
+        d.createPage(gp, DirState::Uncached, 0);
+    Rng rng(3);
+    for (auto _ : state) {
+        GPage gp = rng.below(64);
+        std::uint32_t li = rng.below(64);
+        auto e = d.line(gp, li);
+        NodeId n = static_cast<NodeId>(rng.below(nodes));
+        e.setState(DirState::Shared);
+        e.addSharer(n);
+        benchmark::DoNotOptimize(e.sharerCount());
+        e.removeSharer(n);
+    }
+}
+BENCHMARK(BM_Directory_LineMutate)->Arg(8)->Arg(1024);
+
+/** Page churn: create/release against the slot freelist. */
+void
+BM_Directory_PageChurn(benchmark::State &state)
+{
+    const std::uint32_t nodes = static_cast<std::uint32_t>(state.range(0));
+    Directory d(8192, 2, 22, 64, nodes);
+    for (GPage gp = 0; gp < 256; ++gp)
+        d.createPage(gp, DirState::Uncached, 0);
+    GPage next = 256;
+    Rng rng(9);
+    for (auto _ : state) {
+        GPage victim = rng.below(256);
+        if (d.hasPage(victim))
+            d.removePage(victim);
+        d.createPage(next++, DirState::Uncached, 0);
+    }
+}
+BENCHMARK(BM_Directory_PageChurn)->Arg(8)->Arg(1024);
 
 void
 BM_EventQueueScheduleRun(benchmark::State &state)

@@ -23,9 +23,7 @@ main(int argc, char **argv)
     std::printf("%-12s %12s %12s %14s %14s\n", "Application",
                 "SCOMA", "LANUMA", "SCOMA util", "LANUMA util");
 
-    MachineConfig base;
-    base.jobsIntra = opts.jobsIntra;
-    base.protocol = opts.protocol;
+    MachineConfig base = opts.baseMachine();
     const std::vector<PolicyKind> policies = {PolicyKind::Scoma,
                                               PolicyKind::LaNuma};
     const auto &apps = opts.apps;

@@ -24,9 +24,7 @@ main(int argc, char **argv)
     std::printf("%-12s %12s %12s %12s %12s\n", "Application", "SCOMA",
                 "LANUMA", "SCOMA-70", "PageOuts-70");
 
-    MachineConfig base;
-    base.jobsIntra = opts.jobsIntra;
-    base.protocol = opts.protocol;
+    MachineConfig base = opts.baseMachine();
     const std::vector<PolicyKind> policies = {
         PolicyKind::Scoma, PolicyKind::LaNuma, PolicyKind::Scoma70};
     const auto &apps = opts.apps;

@@ -23,9 +23,7 @@ main(int argc, char **argv)
     std::printf("%-12s | %10s %10s %10s | %9s %9s\n", "Application",
                 "Dyn-FCFS", "Dyn-Util", "Dyn-LRU", "PO-Util", "PO-LRU");
 
-    MachineConfig base;
-    base.jobsIntra = opts.jobsIntra;
-    base.protocol = opts.protocol;
+    MachineConfig base = opts.baseMachine();
     const std::vector<PolicyKind> policies = {
         PolicyKind::DynFcfs, PolicyKind::DynUtil, PolicyKind::DynLru};
     const auto &apps = opts.apps;

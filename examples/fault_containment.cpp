@@ -43,10 +43,11 @@ main()
     std::printf("page 0 homed at node 0 (frame %llu); directory line 0 "
                 "state: %s\n",
                 (unsigned long long)hf,
-                dirStateName(home.directory().line(gp0, 0)->state));
+                dirStateName(home.directory().line(gp0, 0).state()));
 
     // Arm the firewall: only nodes 0 and 1 may write this page.
-    home.pit().entry(hf)->capabilities = 0b0011;
+    home.pit().entry(hf)->capabilities.add(0);
+    home.pit().entry(hf)->capabilities.add(1);
     std::printf("firewall armed: capabilities = {node 0, node 1}\n\n");
 
     // A faulty node 5 sprays forged writebacks at the page.
@@ -66,7 +67,7 @@ main()
     std::printf("  firewall rejects: %llu\n",
                 (unsigned long long)home.stats().firewallRejects);
     std::printf("  directory line 0 state: %s (unchanged)\n",
-                dirStateName(home.directory().line(gp0, 0)->state));
+                dirStateName(home.directory().line(gp0, 0).state()));
 
     // A legitimate writeback from node 1 — first make node 1 the
     // owner of line 1, then let its eviction write back normally.
@@ -80,8 +81,8 @@ main()
     });
     std::printf("\nnode 1 (capable) took ownership of line 1: "
                 "directory state %s, owner %u\n",
-                dirStateName(home.directory().line(gp0, 1)->state),
-                home.directory().line(gp0, 1)->owner);
+                dirStateName(home.directory().line(gp0, 1).state()),
+                home.directory().line(gp0, 1).owner());
     std::printf("rejected writes total: %llu (only the wild ones)\n",
                 (unsigned long long)home.pit().rejectedWrites());
     std::printf("\nBecause LA-NUMA/S-COMA frames never expose raw "

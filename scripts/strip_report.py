@@ -5,12 +5,16 @@ Usage: strip_report.py <report.json>
 
 Prints the report with the keys that may legitimately differ between
 an execution and a replay of the same simulation removed:
-`generatedAt` (wall-clock timestamp) and the frontend-provenance
+`generatedAt` (wall-clock timestamp), `schemaVersion` (so the check
+spans schema bumps that only add keys) and the frontend-provenance
 fields `frontend`, `traceWorkload` and `traceOps` (run-report config
 and bench-report top level).  Histogram entries with component
 `workload` (e.g. the KV store's per-op request latencies) are dropped
 too: they come from the workload body itself, which a trace replay
-does not run.  The output is canonical JSON, so two stripped reports
+does not run.  Gauges in the `footprint` component (host-side memory
+accounting: directory bytes, PIT entries, tag bytes) are likewise
+dropped — they describe the simulator's own data structures, not the
+simulated machine.  The output is canonical JSON, so two stripped reports
 are byte-comparable with `diff`/`cmp`; CI uses this for the
 replay-determinism check (docs/TRACE.md).
 """
@@ -18,13 +22,17 @@ replay-determinism check (docs/TRACE.md).
 import json
 import sys
 
-STRIP_KEYS = ("generatedAt", "frontend", "traceWorkload", "traceOps")
+STRIP_KEYS = ("generatedAt", "schemaVersion", "frontend",
+              "traceWorkload", "traceOps")
 
 
 def strip(doc):
     if isinstance(doc, dict):
-        return {k: strip(v) for k, v in doc.items()
-                if k not in STRIP_KEYS}
+        return {k: (dict((gk, gv) for gk, gv in v.items()
+                         if not gk.startswith("footprint."))
+                    if k == "gauges" and isinstance(v, dict)
+                    else strip(v))
+                for k, v in doc.items() if k not in STRIP_KEYS}
     if isinstance(doc, list):
         return [strip(v) for v in doc
                 if not (isinstance(v, dict)

@@ -12,7 +12,7 @@ Exits non-zero with a message on the first violation.
 import json
 import sys
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 RUN_REPORT_KEYS = [
     "schema", "schemaVersion", "generatedAt", "config", "phases",

@@ -254,7 +254,7 @@ ProtocolOracle::checkLine(GPage gp, std::uint32_t li)
     ++checksRun_;
     NodeId owner_node = kInvalidNode;
     std::uint32_t owner_count = 0;
-    std::uint64_t valid_mask = 0;
+    SharerSet valid;
     for (NodeId n = 0; n < numNodes_; ++n) {
         Node &node = m_.node(n);
         const Pit &pit = node.controller().pit();
@@ -290,21 +290,21 @@ ProtocolOracle::checkLine(GPage gp, std::uint32_t li)
             owner_node = n;
         }
         if (valid_copy)
-            valid_mask |= 1ULL << n;
+            valid.add(n);
     }
+    SharerSet others = valid;
+    if (owner_node != kInvalidNode)
+        others.remove(owner_node);
     if (owner_count > 1) {
         report(gp, li,
                fmt("%u nodes hold owner-class copies simultaneously "
-                   "(valid mask %#llx)",
-                   owner_count,
-                   static_cast<unsigned long long>(valid_mask)));
-    } else if (owner_count == 1 &&
-               (valid_mask & ~(1ULL << owner_node)) != 0) {
+                   "(valid mask %s)",
+                   owner_count, valid.toString().c_str()));
+    } else if (owner_count == 1 && !others.empty()) {
         report(gp, li,
                fmt("owner-class copy at node %u coexists with valid "
-                   "copies elsewhere (valid mask %#llx)",
-                   owner_node,
-                   static_cast<unsigned long long>(valid_mask)));
+                   "copies elsewhere (valid mask %s)",
+                   owner_node, valid.toString().c_str()));
     }
 }
 
@@ -379,11 +379,11 @@ ProtocolOracle::sweepQuiescent()
 
     // Per-line checks against the directory (I2-I5) plus value checks.
     for (auto [gp, home] : dir_home) {
-        auto *pg = m_.node(home).controller().directory().page(gp);
+        auto pg = m_.node(home).controller().directory().page(gp);
         if (!pg)
             continue;
-        for (std::uint32_t li = 0; li < pg->size(); ++li) {
-            const DirEntry &d = (*pg)[li];
+        for (std::uint32_t li = 0; li < pg.size(); ++li) {
+            const DirEntry d = pg.line(li).toEntry();
             const GLine gl = geo_.lineOf(gp, li);
             auto ls = lines_.find(gl);
             const LineShadow *sh =

@@ -119,8 +119,8 @@ class ProtocolOracle
     {
         trace_.push(TraceEvent{t, gp, li,
                                type,
-                               static_cast<std::uint8_t>(src),
-                               static_cast<std::uint8_t>(dst)});
+                               static_cast<std::uint16_t>(src),
+                               static_cast<std::uint16_t>(dst)});
     }
 
     // --- Quiescent sweep -------------------------------------------------

@@ -35,7 +35,7 @@ CoherenceController::CoherenceController(
       geo_(cfg.lineBytes),
       pit_(cfg.pitLatency, cfg.pitHashExtra),
       dir_(cfg.dirCacheEntries, cfg.dirCacheHit, cfg.dirCacheMiss,
-           geo_.linesPerPage()),
+           geo_.linesPerPage(), cfg.numNodes),
       mutationBudget_(cfg.mutationSkipInvals)
 {
 }
@@ -573,15 +573,16 @@ CoherenceController::clientPageQuiescent(FrameNum frame) const
 Cycles
 CoherenceController::homeRemoveClient(GPage gpage, NodeId client)
 {
-    auto *pg = dir_.page(gpage);
-    prism_assert(pg != nullptr, "homeRemoveClient on absent page");
+    auto pg = dir_.page(gpage);
+    prism_assert(pg, "homeRemoveClient on absent page");
     Cycles c = 0;
-    for (auto &d : *pg) {
+    for (std::uint32_t i = 0; i < pg.size(); ++i) {
+        auto d = pg.line(i);
         c += cfg_.dirCacheHit; // sequential page walk mostly hits
-        if (d.state == DirState::Shared) {
+        if (d.state() == DirState::Shared) {
             d.removeSharer(client);
-            if (d.sharers == 0) {
-                d.state = DirState::Uncached;
+            if (d.noSharers()) {
+                d.setState(DirState::Uncached);
             }
         }
         // Owned(client) lines are left alone: the client's page-out
@@ -605,10 +606,10 @@ CoherenceController::removeHomeMapping(FrameNum frame, GPage gpage)
     if (oracle_) {
         // The kernel has flushed processor copies into the frame, so
         // lines we owned leave with the frame (= memory) current.
-        auto *pg = dir_.page(gpage);
-        for (std::uint32_t i = 0; i < pg->size(); ++i) {
-            const DirEntry &d = (*pg)[i];
-            if (d.state == DirState::Owned && d.owner == self_)
+        auto pg = dir_.page(gpage);
+        for (std::uint32_t i = 0; i < pg.size(); ++i) {
+            auto d = pg.line(i);
+            if (d.state() == DirState::Owned && d.owner() == self_)
                 oracle_->onMigrateFlush(self_, gpage, i);
         }
     }
@@ -774,15 +775,15 @@ CoherenceController::handleHomeRequest(Msg m)
         he->accessed->set(li);
 
     co_await delay(dir_.access(gl));
-    DirEntry *d = dir_.line(m.gpage, li);
+    auto d = dir_.line(m.gpage, li);
     const NodeId req = m.requester;
     const bool for_write = (m.type != MsgType::ReqS);
-    TRC(m.gpage, li, "home%u req %s from n%u state=%s owner=%u sh=%llx t=%llu",
-        self_, msgTypeName(m.type), req, dirStateName(d->state), d->owner,
-        (unsigned long long)d->sharers, (unsigned long long)eq_.now());
+    TRC(m.gpage, li, "home%u req %s from n%u state=%s owner=%u sh=%s t=%llu",
+        self_, msgTypeName(m.type), req, dirStateName(d.state()), d.owner(),
+        d.sharers().toString().c_str(), (unsigned long long)eq_.now());
 
     for (;;) {
-        if (d->state == DirState::Uncached) {
+        if (d.state() == DirState::Uncached) {
             co_await dramAccess();
             Msg r;
             r.type = MsgType::Data;
@@ -794,15 +795,15 @@ CoherenceController::handleHomeRequest(Msg m)
             r.homeFrame = hf;
             r.dynHome = self_;
             r.exclusive = true;
-            d->state = DirState::Owned;
-            d->owner = req;
-            d->sharers = 0;
+            d.setState(DirState::Owned);
+            d.setOwner(req);
+            d.clearSharers();
             if (oracle_)
                 oracle_->onHomeGrantFromMemory(self_, m.gpage, li, req);
             send(std::move(r));
             break;
         }
-        if (d->state == DirState::Shared) {
+        if (d.state() == DirState::Shared) {
             if (!for_write) {
                 co_await dramAccess();
                 Msg r;
@@ -815,7 +816,7 @@ CoherenceController::handleHomeRequest(Msg m)
                 r.homeFrame = hf;
                 r.dynHome = self_;
                 r.exclusive = false;
-                d->addSharer(req);
+                d.addSharer(req);
                 if (oracle_)
                     oracle_->onHomeGrantFromMemory(self_, m.gpage, li,
                                                    req);
@@ -823,8 +824,8 @@ CoherenceController::handleHomeRequest(Msg m)
                 break;
             }
             // Write to a shared line: invalidate the other sharers.
-            const bool req_was_sharer = d->isSharer(req);
-            if (d->isSharer(self_) && self_ != req) {
+            const bool req_was_sharer = d.isSharer(req);
+            if (d.isSharer(self_) && self_ != req) {
                 // Home's own copy is invalidated inline; mirror
                 // handleClientInv and poison any racing local
                 // transaction or pending fill for the line.
@@ -841,18 +842,21 @@ CoherenceController::handleHomeRequest(Msg m)
                     he->tags->get(li) != FgTag::Transit) {
                     he->tags->set(li, FgTag::Invalid);
                 }
-                d->removeSharer(self_);
+                d.removeSharer(self_);
                 if (oracle_)
                     oracle_->onInvalidate(self_, m.gpage, li);
                 if (r.done > eq_.now())
                     co_await DelayAwaiter(eq_, r.done - eq_.now());
             }
             std::uint32_t acks = 0;
-            const std::uint64_t rest =
-                d->sharers & ~(1ULL << req) & ~(1ULL << self_);
-            for (NodeId n = 0; n < cfg_.numNodes; ++n) {
-                if (!((rest >> n) & 1))
-                    continue;
+            // Snapshot the fan-out targets before the first suspension
+            // point; members are visited in ascending node order, as
+            // the old bitmask probe loop did.
+            SharerSet rest = SharerSet::fromRef(d.sharers());
+            rest.remove(req);
+            rest.remove(self_);
+            for (NodeId n = rest.first(); n != kInvalidNode;
+                 n = rest.next(n)) {
                 if (mutationBudget_ > 0) {
                     // Fault injection (oracle self-test): silently
                     // skip this invalidation.  The requester is told
@@ -914,22 +918,22 @@ CoherenceController::handleHomeRequest(Msg m)
                                                    req);
                 send(std::move(r));
             }
-            d->state = DirState::Owned;
-            d->owner = req;
-            d->sharers = 0;
+            d.setState(DirState::Owned);
+            d.setOwner(req);
+            d.clearSharers();
             break;
         }
         // Owned.
-        if (d->owner == req) {
+        if (d.owner() == req) {
             warn("owner==req: msg=%s req=%u home=%u gpage=%llx li=%u "
-                 "sharers=%llx",
+                 "sharers=%s",
                  msgTypeName(m.type), req, self_,
                  static_cast<unsigned long long>(m.gpage), li,
-                 static_cast<unsigned long long>(d->sharers));
+                 d.sharers().toString().c_str());
         }
-        prism_assert(d->owner != req,
+        prism_assert(d.owner() != req,
                      "owner node re-requesting a line it owns");
-        if (d->owner == self_) {
+        if (d.owner() == self_) {
             // If our own exclusive grant for this line is still in
             // flight (loopback reply not yet consumed), wait for it to
             // land — the remote-owner equivalent is the FetchNack
@@ -964,13 +968,15 @@ CoherenceController::handleHomeRequest(Msg m)
             rep.dynHome = self_;
             rep.exclusive = for_write;
             if (for_write) {
-                d->state = DirState::Owned;
-                d->owner = req;
-                d->sharers = 0;
+                d.setState(DirState::Owned);
+                d.setOwner(req);
+                d.clearSharers();
             } else {
-                d->state = DirState::Shared;
-                d->sharers = (1ULL << self_) | (1ULL << req);
-                d->owner = kInvalidNode;
+                d.setState(DirState::Shared);
+                d.clearSharers();
+                d.addSharer(self_);
+                d.addSharer(req);
+                d.setOwner(kInvalidNode);
             }
             if (oracle_)
                 oracle_->onHomeServeSelfOwned(self_, m.gpage, li, req,
@@ -979,7 +985,7 @@ CoherenceController::handleHomeRequest(Msg m)
             break;
         }
         // 3-party transaction: intervene at the remote owner.
-        const NodeId owner = d->owner;
+        const NodeId owner = d.owner();
         HomeWait wait(eq_);
         homeWaits_[gl] = &wait;
         Msg f;
@@ -1005,13 +1011,15 @@ CoherenceController::handleHomeRequest(Msg m)
         if (wait.dirty)
             dram_.access(eq_.now()); // sharing writeback into memory
         if (for_write) {
-            d->state = DirState::Owned;
-            d->owner = req;
-            d->sharers = 0;
+            d.setState(DirState::Owned);
+            d.setOwner(req);
+            d.clearSharers();
         } else {
-            d->state = DirState::Shared;
-            d->sharers = (1ULL << owner) | (1ULL << req);
-            d->owner = kInvalidNode;
+            d.setState(DirState::Shared);
+            d.clearSharers();
+            d.addSharer(owner);
+            d.addSharer(req);
+            d.setOwner(kInvalidNode);
         }
         break;
     }
@@ -1048,26 +1056,27 @@ CoherenceController::handleWriteback(Msg m)
         forward(std::move(m));
         co_return;
     }
-    DirEntry *d = dir_.line(m.gpage, m.lineIdx);
+    auto d = dir_.line(m.gpage, m.lineIdx);
     TRC(m.gpage, m.lineIdx, "home%u wb from n%u keepS=%d state=%s owner=%u t=%llu",
-        self_, m.src, (int)m.keepShared, dirStateName(d->state), d->owner,
+        self_, m.src, (int)m.keepShared, dirStateName(d.state()), d.owner(),
         (unsigned long long)eq_.now());
-    if (d->state == DirState::Owned && d->owner == owner_id) {
+    if (d.state() == DirState::Owned && d.owner() == owner_id) {
         if (m.keepShared) {
-            d->state = DirState::Shared;
-            d->sharers = 1ULL << owner_id;
-            d->owner = kInvalidNode;
+            d.setState(DirState::Shared);
+            d.clearSharers();
+            d.addSharer(owner_id);
+            d.setOwner(kInvalidNode);
         } else {
-            d->state = DirState::Uncached;
-            d->owner = kInvalidNode;
-            d->sharers = 0;
+            d.setState(DirState::Uncached);
+            d.setOwner(kInvalidNode);
+            d.clearSharers();
         }
         if (m.dirty)
             dram_.access(eq_.now());
         if (oracle_)
             oracle_->onWritebackAccepted(self_, m.gpage, m.lineIdx,
                                          owner_id, m.dirty, m.keepShared);
-    } else if (d->state == DirState::Uncached && m.dirty) {
+    } else if (d.state() == DirState::Uncached && m.dirty) {
         // The owner's page-out flush races its own PageOutNotice: the
         // writeback is delivered first (pairwise FIFO) but pays the
         // controller occupancy and PIT-reverse delays before reading
@@ -1343,7 +1352,7 @@ CoherenceController::handleMigratePrep(Msg m)
         DirEntry &d = payload->dir[i];
         if (d.state == DirState::Shared) {
             d.removeSharer(self_);
-            if (d.sharers == 0)
+            if (d.sharers.empty())
                 d.state = DirState::Uncached;
         } else if (d.state == DirState::Owned && d.owner == self_) {
             d.state = DirState::Uncached;
@@ -1354,8 +1363,9 @@ CoherenceController::handleMigratePrep(Msg m)
                 oracle_->onMigrateFlush(self_, gp, i);
         }
     }
-    payload->kernelClients = host_.homeKernelClients(gp) &
-                             ~(1ULL << self_) & ~(1ULL << new_home);
+    payload->kernelClients = host_.homeKernelClients(gp);
+    payload->kernelClients.remove(self_);
+    payload->kernelClients.remove(new_home);
 
     Msg data;
     data.type = MsgType::MigrateData;
@@ -1426,7 +1436,7 @@ CoherenceController::handleMigrateData(Msg m)
                 DirEntry &d = payload->dir[i];
                 if (d.state == DirState::Shared) {
                     d.removeSharer(self_);
-                    if (d.sharers == 0)
+                    if (d.sharers.empty())
                         d.state = DirState::Uncached;
                 } else if (d.state == DirState::Owned &&
                            d.owner == self_) {
@@ -1522,6 +1532,39 @@ CoherenceController::registerMetrics(MetricRegistry &reg)
          "home-side writeback handling latency");
     hist("latency.migration", latency_.migration,
          "migration prep-to-handoff latency");
+
+    // Memory-footprint accounting: what the coherence metadata costs
+    // on this node, sampled when the report is written.  Directory
+    // bytes follow the SoA arena's live layout (state byte + owner id
+    // + ceil(numNodes/64) sharer words per line); tag bytes are the
+    // architected 2 bits per line of every tagged frame.
+    reg.bind(MetricLabels{"footprint", n, "dirBytes", "bytes"},
+             &gaugeDirBytes_,
+             [this] { return static_cast<double>(dir_.liveBytes()); },
+             "directory entry bytes for pages homed here");
+    reg.bind(MetricLabels{"footprint", n, "dirPages", "pages"},
+             &gaugeDirPages_,
+             [this] { return static_cast<double>(dir_.numPages()); },
+             "pages homed here (directory page count)");
+    reg.bind(MetricLabels{"footprint", n, "pitEntries", "entries"},
+             &gaugePitEntries_,
+             [this] { return static_cast<double>(pit_.size()); },
+             "live PIT entries (frame translations)");
+    reg.bind(MetricLabels{"footprint", n, "tagBytes", "bytes"},
+             &gaugeTagBytes_, [this] { return tagBytesModeled(); },
+             "fine-grain tag bytes (2 bits/line) on S-COMA frames");
+}
+
+double
+CoherenceController::tagBytesModeled() const
+{
+    std::uint64_t bytes = 0;
+    for (FrameNum f : pit_.allFrames()) {
+        const PitEntry *e = pit_.entry(f);
+        if (e && e->tags)
+            bytes += (e->tags->lines() + 3) / 4;
+    }
+    return static_cast<double>(bytes);
 }
 
 } // namespace prism

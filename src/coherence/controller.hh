@@ -119,11 +119,11 @@ class ControllerHost
     /** Unmap and free the departing home page's frame. */
     virtual void migrationFreeFrame(FrameNum frame, GPage gp) = 0;
 
-    /** Home-kernel client bitmask for @p gp (migration metadata). */
-    virtual std::uint64_t homeKernelClients(GPage gp) = 0;
+    /** Home-kernel client set for @p gp (migration metadata). */
+    virtual SharerSet homeKernelClients(GPage gp) = 0;
 
     /** Install home-kernel metadata for an arriving page. */
-    virtual void homeKernelAdopt(GPage gp, std::uint64_t clients) = 0;
+    virtual void homeKernelAdopt(GPage gp, const SharerSet &clients) = 0;
 
     /** Drop home-kernel metadata for a departed page. */
     virtual void homeKernelDepart(GPage gp) = 0;
@@ -351,7 +351,7 @@ class CoherenceController
     /** Payload attached to a MigrateData message. */
     struct MigrationPayload {
         std::vector<DirEntry> dir;
-        std::uint64_t kernelClients = 0;
+        SharerSet kernelClients;
     };
 
     // Timing helpers.
@@ -436,6 +436,22 @@ class CoherenceController
 
     ControllerStats stats_;
     ControllerLatency latency_;
+
+    /**
+     * Per-node memory-footprint gauges (component "footprint"),
+     * sampled at report time: directory arena bytes, PIT entries and
+     * modeled fine-grain tag bytes (2 bits per line).  These size the
+     * coherence metadata cost of a machine preset (docs/PERFORMANCE.md
+     * §9); scripts/strip_report.py drops them from byte-identity
+     * comparisons alongside the workload histograms.
+     */
+    ScopedGauge gaugeDirBytes_;
+    ScopedGauge gaugeDirPages_;
+    ScopedGauge gaugePitEntries_;
+    ScopedGauge gaugeTagBytes_;
+
+    /** Modeled fine-grain tag bytes across live S-COMA frames. */
+    double tagBytesModeled() const;
 };
 
 } // namespace prism

@@ -6,16 +6,35 @@
  * backing store is DRAM fronted by an 8K-entry directory cache (paper
  * Section 4.1: 2-cycle hit, 22-cycle miss); the cache is modeled as a
  * direct-mapped tag filter for timing only.
+ *
+ * Storage is struct-of-arrays in a chunked arena (the mold of the
+ * mem/cache.hh tag store): per-line state bytes, owner ids and sharer
+ * bitmap words live in parallel packed arrays, one page slot per
+ * directory page.  Chunks are never reallocated and freed slots are
+ * recycled through a freelist, so LineRef/PageRef handles stay valid
+ * for the whole home transaction that obtained them — unlike the old
+ * per-page `vector<DirEntry>` map, where an unrelated createPage could
+ * rehash the table under a held `DirEntry *`.  A per-slot generation
+ * check enforces that contract: a handle used after its page was
+ * removed or released panics instead of reading recycled memory.
+ *
+ * Sharer sets are `ceil(numNodes/64)` words per line, in place in the
+ * arena (no per-line allocation at any machine size); callers get a
+ * SharerRef view (sharer_set.hh).  DirEntry remains as the detached
+ * value type used for migration payloads and tests.
  */
 
 #ifndef PRISM_COHERENCE_DIRECTORY_HH
 #define PRISM_COHERENCE_DIRECTORY_HH
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "coherence/sharer_set.hh"
 #include "mem/addr.hh"
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace prism {
@@ -33,34 +52,155 @@ enum class DirState : std::uint8_t {
 /** Human-readable state name. */
 const char *dirStateName(DirState s);
 
-/** One line's directory entry. */
+/**
+ * One line's directory entry as a detached value: the exchange format
+ * for migration payloads (releasePage/adoptPage) and tests.  The live
+ * directory stores the same fields SoA in its arena.
+ */
 struct DirEntry {
     DirState state = DirState::Uncached;
-    std::uint64_t sharers = 0; //!< bitmask of sharer nodes
     NodeId owner = kInvalidNode;
+    SharerSet sharers;
 
-    bool
-    isSharer(NodeId n) const
-    {
-        return (sharers >> n) & 1;
-    }
-
-    void addSharer(NodeId n) { sharers |= 1ULL << n; }
-    void removeSharer(NodeId n) { sharers &= ~(1ULL << n); }
-
-    std::uint32_t
-    sharerCount() const
-    {
-        return static_cast<std::uint32_t>(__builtin_popcountll(sharers));
-    }
+    bool isSharer(NodeId n) const { return sharers.test(n); }
+    void addSharer(NodeId n) { sharers.add(n); }
+    void removeSharer(NodeId n) { sharers.remove(n); }
+    std::uint32_t sharerCount() const { return sharers.count(); }
 };
 
 /** The directory of one home node. */
 class Directory
 {
   public:
+    /**
+     * @param num_nodes  machine node count; sizes each line's sharer
+     *                   bitmap at ceil(num_nodes/64) words.
+     */
     Directory(std::uint32_t cache_entries, Cycles hit_cycles,
-              Cycles miss_cycles, std::uint32_t lines_per_page);
+              Cycles miss_cycles, std::uint32_t lines_per_page,
+              std::uint32_t num_nodes);
+
+    /**
+     * Borrowed handle to one line's columns in the arena.  Valid until
+     * the page is removed/released (generation-checked); an invalid
+     * handle (absent page) is falsy.
+     */
+    class LineRef
+    {
+      public:
+        LineRef() = default;
+
+        explicit operator bool() const { return state_ != nullptr; }
+
+        DirState
+        state() const
+        {
+            check();
+            return static_cast<DirState>(*state_);
+        }
+
+        void
+        setState(DirState s)
+        {
+            check();
+            *state_ = static_cast<std::uint8_t>(s);
+        }
+
+        NodeId
+        owner() const
+        {
+            check();
+            return *owner_;
+        }
+
+        void
+        setOwner(NodeId n)
+        {
+            check();
+            *owner_ = n;
+        }
+
+        /** Mutable view of this line's sharer words. */
+        SharerRef
+        sharers() const
+        {
+            check();
+            return SharerRef(words_, numWords_);
+        }
+
+        bool isSharer(NodeId n) const { return sharers().test(n); }
+        void addSharer(NodeId n) { sharers().add(n); }
+        void removeSharer(NodeId n) { sharers().remove(n); }
+        void clearSharers() { sharers().clear(); }
+        bool noSharers() const { return sharers().empty(); }
+        std::uint32_t sharerCount() const { return sharers().count(); }
+
+        /** Snapshot into a detached value (migration/tests). */
+        DirEntry
+        toEntry() const
+        {
+            DirEntry e;
+            e.state = state();
+            e.owner = owner();
+            e.sharers = SharerSet::fromRef(sharers());
+            return e;
+        }
+
+      private:
+        friend class Directory;
+
+        LineRef(std::uint8_t *state, NodeId *owner, std::uint64_t *words,
+                std::uint32_t num_words, const std::uint32_t *gen,
+                std::uint32_t gen_at_issue)
+            : state_(state), owner_(owner), words_(words),
+              numWords_(num_words), gen_(gen), genAtIssue_(gen_at_issue)
+        {
+        }
+
+        void
+        check() const
+        {
+            prism_assert(state_ != nullptr, "use of an empty LineRef");
+            prism_assert(*gen_ == genAtIssue_,
+                         "directory LineRef outlived its page (held "
+                         "across removePage/releasePage)");
+        }
+
+        std::uint8_t *state_ = nullptr;
+        NodeId *owner_ = nullptr;
+        std::uint64_t *words_ = nullptr;
+        std::uint32_t numWords_ = 0;
+        const std::uint32_t *gen_ = nullptr;
+        std::uint32_t genAtIssue_ = 0;
+    };
+
+    /** Borrowed handle to a whole page (page walks). */
+    class PageRef
+    {
+      public:
+        PageRef() = default;
+
+        explicit operator bool() const { return dir_ != nullptr; }
+
+        std::uint32_t size() const { return dir_->linesPerPage_; }
+
+        LineRef
+        line(std::uint32_t idx) const
+        {
+            prism_assert(idx < dir_->linesPerPage_,
+                         "directory line index OOB");
+            return dir_->lineRef(slot_, idx);
+        }
+
+      private:
+        friend class Directory;
+        PageRef(Directory *dir, std::uint32_t slot)
+            : dir_(dir), slot_(slot)
+        {
+        }
+        Directory *dir_ = nullptr;
+        std::uint32_t slot_ = 0;
+    };
 
     /** Create entries for every line of @p gp (page-in at home). */
     void createPage(GPage gp, DirState init, NodeId owner);
@@ -69,19 +209,22 @@ class Directory
     void removePage(GPage gp);
 
     /** Install a page's entries verbatim (migration arrival). */
-    void adoptPage(GPage gp, std::vector<DirEntry> entries);
+    void adoptPage(GPage gp, const std::vector<DirEntry> &entries);
 
     /** Steal a page's entries (migration departure). */
     std::vector<DirEntry> releasePage(GPage gp);
 
-    bool hasPage(GPage gp) const { return pages_.find(gp) != pages_.end(); }
+    bool
+    hasPage(GPage gp) const
+    {
+        return slots_.find(gp) != slots_.end();
+    }
 
-    /** Entry for line @p idx of page @p gp; nullptr if page absent. */
-    DirEntry *line(GPage gp, std::uint32_t idx);
-    const DirEntry *line(GPage gp, std::uint32_t idx) const;
+    /** Handle for line @p idx of page @p gp; falsy if page absent. */
+    LineRef line(GPage gp, std::uint32_t idx);
 
-    /** All entries of a page; nullptr if absent. */
-    std::vector<DirEntry> *page(GPage gp);
+    /** Whole-page handle; falsy if absent. */
+    PageRef page(GPage gp);
 
     /**
      * Timing of one directory access to global line @p gl, exercising
@@ -91,14 +234,75 @@ class Directory
 
     std::uint64_t lookups() const { return lookups_; }
     std::uint64_t cacheHits() const { return cacheHits_; }
-    std::size_t numPages() const { return pages_.size(); }
+    std::size_t numPages() const { return slots_.size(); }
+
+    /** Bytes per directory line entry (state + owner + sharer words). */
+    std::size_t
+    bytesPerLine() const
+    {
+        return 1 + sizeof(NodeId) + wordsPerLine_ * 8;
+    }
+
+    /** Arena bytes backing currently-live pages. */
+    std::size_t
+    liveBytes() const
+    {
+        return numPages() * linesPerPage_ * bytesPerLine();
+    }
+
+    /** Arena bytes reserved (live + freelisted slots). */
+    std::size_t
+    reservedBytes() const
+    {
+        return chunks_.size() * kChunkPages * linesPerPage_ *
+               bytesPerLine();
+    }
 
   private:
+    /** Page slots per arena chunk; chunks never move once built. */
+    static constexpr std::uint32_t kChunkPages = 64;
+
+    struct Chunk {
+        std::vector<std::uint8_t> state;  //!< kChunkPages * lpp
+        std::vector<NodeId> owner;        //!< kChunkPages * lpp
+        std::vector<std::uint64_t> words; //!< ... * wordsPerLine
+        /**
+         * Per-slot generation counters live inside the chunk so the
+         * pointer a LineRef holds to its counter is as stable as the
+         * data pointers — a directory-level vector would reallocate
+         * when the arena grows, recreating the very hazard the
+         * generation check exists to catch.
+         */
+        std::vector<std::uint32_t> gen; //!< kChunkPages
+    };
+
+    std::uint32_t allocSlot();
+
+    LineRef
+    lineRef(std::uint32_t slot, std::uint32_t idx)
+    {
+        Chunk &c = *chunks_[slot / kChunkPages];
+        const std::uint32_t sub = slot % kChunkPages;
+        const std::uint32_t base = sub * linesPerPage_ + idx;
+        return LineRef(&c.state[base], &c.owner[base],
+                       &c.words[base * wordsPerLine_], wordsPerLine_,
+                       &c.gen[sub], c.gen[sub]);
+    }
+
+    std::uint32_t &
+    slotGen(std::uint32_t slot)
+    {
+        return chunks_[slot / kChunkPages]->gen[slot % kChunkPages];
+    }
+
     std::uint32_t linesPerPage_;
+    std::uint32_t wordsPerLine_;
     Cycles hitCycles_;
     Cycles missCycles_;
     std::vector<GLine> cacheTags_; //!< direct-mapped timing filter
-    std::unordered_map<GPage, std::vector<DirEntry>> pages_;
+    std::vector<std::unique_ptr<Chunk>> chunks_;
+    std::vector<std::uint32_t> freeSlots_;
+    std::unordered_map<GPage, std::uint32_t> slots_;
     std::uint64_t lookups_ = 0;
     std::uint64_t cacheHits_ = 0;
 };

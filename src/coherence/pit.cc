@@ -76,9 +76,9 @@ bool
 Pit::writeAllowed(FrameNum frame, NodeId node) const
 {
     const PitEntry *e = entry(frame);
-    if (!e || e->capabilities == 0)
+    if (!e || e->capabilities.empty())
         return true;
-    return (e->capabilities >> node) & 1;
+    return e->capabilities.test(node);
 }
 
 std::vector<FrameNum>

@@ -22,6 +22,7 @@
 
 #include "coherence/fine_grain_tags.hh"
 #include "coherence/page_mode.hh"
+#include "coherence/sharer_set.hh"
 #include "mem/addr.hh"
 #include "sim/types.hh"
 
@@ -73,10 +74,10 @@ struct PitEntry {
     std::unique_ptr<FrameTags> tags;
 
     /**
-     * Capability list: bitmask of nodes allowed to act on this frame
-     * remotely.  0 means "no firewall" (all nodes allowed).
+     * Capability list: set of nodes allowed to act on this frame
+     * remotely.  Empty means "no firewall" (all nodes allowed).
      */
-    std::uint64_t capabilities = 0;
+    SharerSet capabilities;
 
     /** Lines of this frame ever accessed (Table 3 utilization). */
     std::unique_ptr<LineMask> accessed;

@@ -1,0 +1,113 @@
+#include "coherence/sharer_set.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace prism {
+
+namespace sharer_words {
+
+namespace {
+
+/**
+ * Per-thread freelist of spill blocks, bucketed by word count.  All
+ * sets of one machine share a single width (ceil(numNodes/64)), so in
+ * practice one bucket is hot; the pool turns the >64-node kernel and
+ * migration paths' set churn into pointer pops instead of malloc
+ * round-trips.  Thread-local because protocol handlers run on the
+ * sharded event loop's worker threads.
+ */
+constexpr std::uint32_t kMaxPooledWords = 64; // 4096 nodes
+
+struct BlockPool {
+    std::vector<std::uint64_t *> free[kMaxPooledWords + 1];
+
+    ~BlockPool()
+    {
+        for (auto &bucket : free) {
+            for (std::uint64_t *b : bucket)
+                delete[] b;
+        }
+    }
+};
+
+thread_local BlockPool tlsPool;
+
+} // namespace
+
+std::uint64_t *
+alloc(std::uint32_t num_words)
+{
+    prism_assert(num_words >= 2 && num_words <= kMaxPooledWords,
+                 "sharer spill of %u words out of range", num_words);
+    auto &bucket = tlsPool.free[num_words];
+    if (!bucket.empty()) {
+        std::uint64_t *b = bucket.back();
+        bucket.pop_back();
+        std::memset(b, 0, num_words * sizeof(std::uint64_t));
+        return b;
+    }
+    return new std::uint64_t[num_words]();
+}
+
+void
+release(std::uint64_t *block, std::uint32_t num_words)
+{
+    tlsPool.free[num_words].push_back(block);
+}
+
+std::string
+toString(const std::uint64_t *w, std::uint32_t nw)
+{
+    // Highest non-zero word first so the rendering reads as one big
+    // hex number; a single word formats exactly like the old %#llx.
+    std::uint32_t top = nw;
+    while (top > 1 && w[top - 1] == 0)
+        --top;
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%#llx",
+                  static_cast<unsigned long long>(w[top - 1]));
+    std::string out = buf;
+    for (std::uint32_t i = top - 1; i-- > 0;) {
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(w[i]));
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace sharer_words
+
+void
+SharerSet::copyFrom(const std::uint64_t *w, std::uint32_t nw)
+{
+    if (nw <= 1) {
+        inline_ = nw ? w[0] : 0;
+        ext_ = nullptr;
+        extWords_ = 0;
+        return;
+    }
+    ext_ = sharer_words::alloc(nw);
+    extWords_ = nw;
+    std::memcpy(ext_, w, nw * sizeof(std::uint64_t));
+    inline_ = 0;
+}
+
+void
+SharerSet::grow(std::uint32_t want_words)
+{
+    const std::uint32_t have = numWords();
+    if (want_words <= have)
+        return;
+    std::uint64_t *nw = sharer_words::alloc(want_words);
+    std::memcpy(nw, words(), have * sizeof(std::uint64_t));
+    releaseExt();
+    ext_ = nw;
+    extWords_ = want_words;
+    inline_ = 0;
+}
+
+} // namespace prism

@@ -1,6 +1,9 @@
 #include "core/config.hh"
 
+#include <cstdio>
 #include <cstring>
+
+#include "sim/logging.hh"
 
 namespace prism {
 
@@ -76,6 +79,66 @@ oracleModeFromString(const char *s, OracleMode *out)
         return true;
     }
     return false;
+}
+
+void
+validateConfig(const MachineConfig &cfg)
+{
+    if (cfg.numNodes < 1 || cfg.numNodes > kMaxNodes) {
+        fatal("numNodes=%u out of range: the machine supports 1..%u "
+              "nodes (kMaxNodes, core/config.hh)",
+              cfg.numNodes, kMaxNodes);
+    }
+    if (cfg.procsPerNode < 1) {
+        fatal("procsPerNode must be >= 1 (got %u)", cfg.procsPerNode);
+    }
+    if (cfg.numProcs() > kMaxProcs) {
+        fatal("numNodes*procsPerNode=%u exceeds the %u-processor "
+              "ceiling (kMaxProcs, core/config.hh)",
+              cfg.numProcs(), kMaxProcs);
+    }
+    if (cfg.dirCacheEntries == 0 ||
+        (cfg.dirCacheEntries & (cfg.dirCacheEntries - 1)) != 0) {
+        fatal("dirCacheEntries must be a nonzero power of two (got %u)",
+              cfg.dirCacheEntries);
+    }
+    if (cfg.lineBytes == 0 || (cfg.lineBytes & (cfg.lineBytes - 1))) {
+        fatal("lineBytes must be a nonzero power of two (got %u)",
+              cfg.lineBytes);
+    }
+}
+
+bool
+machineFromString(const char *s, MachineConfig *cfg)
+{
+    if (!s || !cfg)
+        return false;
+    if (!std::strcmp(s, "paper")) {
+        cfg->numNodes = 8;
+        cfg->procsPerNode = 4;
+        return true;
+    }
+    unsigned nodes = 0, procs = 0;
+    char trail = 0;
+    if (std::sscanf(s, "%ux%u%c", &nodes, &procs, &trail) != 2 ||
+        nodes == 0 || procs == 0) {
+        return false;
+    }
+    cfg->numNodes = nodes;
+    cfg->procsPerNode = procs;
+    return true;
+}
+
+std::vector<MachineConfig>
+machinePresets(const MachineConfig &base)
+{
+    std::vector<MachineConfig> out;
+    for (const char *shape : {"8x4", "16x4", "32x8", "128x8"}) {
+        MachineConfig c = base;
+        machineFromString(shape, &c);
+        out.push_back(c);
+    }
+    return out;
 }
 
 } // namespace prism

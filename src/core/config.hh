@@ -229,6 +229,36 @@ struct MachineConfig {
     std::uint32_t numProcs() const { return numNodes * procsPerNode; }
 };
 
+/**
+ * Hard ceiling on the node count.  Sized by the simulator's O(n^2)
+ * per-pair network FIFO state and the 16-bit node ids in the oracle's
+ * violation-trace ring — not by the coherence layer, whose SharerSet
+ * bitmaps grow with the machine (sharer_set.hh).
+ */
+constexpr std::uint32_t kMaxNodes = 1024;
+
+/** Ceiling on total processors (nodes x procs). */
+constexpr std::uint32_t kMaxProcs = 64 * 1024;
+
+/**
+ * Fail fast on an impossible topology: zero counts, numNodes >
+ * kMaxNodes, numProcs() > kMaxProcs, or a non-power-of-two directory
+ * cache.  fatal()s naming the limit; called at Machine construction
+ * so a bad config can never silently corrupt a run.
+ */
+void validateConfig(const MachineConfig &cfg);
+
+/**
+ * Parse a machine-size preset into @p cfg's topology: either
+ * "<nodes>x<procsPerNode>" (e.g. "128x8") or a named preset — "paper"
+ * (8x4, the paper's evaluated machine).  Other fields are untouched.
+ * @retval false @p s parses as neither (cfg untouched).
+ */
+bool machineFromString(const char *s, MachineConfig *cfg);
+
+/** The machine-size sweep presets: 8x4, 16x4, 32x8, 128x8. */
+std::vector<MachineConfig> machinePresets(const MachineConfig &base);
+
 } // namespace prism
 
 #endif // PRISM_CORE_CONFIG_HH

@@ -22,6 +22,8 @@ const EnvKnob kKnobs[] = {
      "worker threads for the parallel sweep runner"},
     {"PRISM_JOBS_INTRA", "--jobs-intra", "N >= 1", "1",
      "event-loop shards inside each simulation"},
+    {"PRISM_MACHINE", "--machine", "paper|<nodes>x<procs>", "paper",
+     "machine-size preset (e.g. 128x8 = 1024 processors)"},
     {"PRISM_PROTOCOL", "--protocol", "msi|mesi|moesi|mesif", "mesi",
      "intra-node line protocol (docs/PROTOCOL.md)"},
     {"PRISM_FRONTEND", "--frontend", "exec|record|replay", "exec",

@@ -13,8 +13,7 @@ namespace prism {
 
 Machine::Machine(const MachineConfig &cfg) : cfg_(cfg)
 {
-    prism_assert(cfg_.numNodes >= 1 && cfg_.numNodes <= 64,
-                 "node count must be in [1, 64]");
+    validateConfig(cfg_);
     if (const char *env = resolveEnv("PRISM_ORACLE")) {
         OracleMode om;
         if (!oracleModeFromString(env, &om)) {

@@ -322,14 +322,14 @@ Node::migrationFreeFrame(FrameNum frame, GPage gp)
     kernel_->migrationFreeFrame(frame, gp);
 }
 
-std::uint64_t
+SharerSet
 Node::homeKernelClients(GPage gp)
 {
     return kernel_->homeClients(gp);
 }
 
 void
-Node::homeKernelAdopt(GPage gp, std::uint64_t clients)
+Node::homeKernelAdopt(GPage gp, const SharerSet &clients)
 {
     kernel_->adoptHomePage(gp, clients);
 }

@@ -83,8 +83,8 @@ class Node : public ControllerHost
     bool lineCached(FrameNum frame, std::uint32_t line_idx) const override;
     FrameNum migrationAllocFrame(GPage gp) override;
     void migrationFreeFrame(FrameNum frame, GPage gp) override;
-    std::uint64_t homeKernelClients(GPage gp) override;
-    void homeKernelAdopt(GPage gp, std::uint64_t clients) override;
+    SharerSet homeKernelClients(GPage gp) override;
+    void homeKernelAdopt(GPage gp, const SharerSet &clients) override;
     void homeKernelDepart(GPage gp) override;
 
   private:

@@ -29,7 +29,7 @@ class Machine;
 class JsonWriter;
 
 /** Bump on ANY change to the JSON shape (keys added/removed/moved). */
-constexpr int kRunReportSchemaVersion = 3;
+constexpr int kRunReportSchemaVersion = 4;
 
 /** Everything the JSON run report contains, in exporter-ready form. */
 struct RunReport {

@@ -214,7 +214,7 @@ Kernel::homeMapIn(GPage gp)
         diskPages_.erase(gp);
     }
     ctrl_->installHomeMapping(f, gp);
-    homeClients_.emplace(gp, 0);
+    homeClients_.emplace(gp, SharerSet());
 }
 
 // ---------------------------------------------------------------------
@@ -334,13 +334,12 @@ Kernel::pageOutHome(GPage gp)
     }
     dyingPages_.insert(gp);
 
-    const std::uint64_t clients = homeClients_[gp];
+    const SharerSet clients = homeClients_[gp];
     CoLatch latch(eq_);
     pendingHomePageOut_[gp] = &latch;
     std::uint32_t n = 0;
-    for (NodeId c = 0; c < cfg_.numNodes; ++c) {
-        if (!((clients >> c) & 1))
-            continue;
+    for (NodeId c = clients.first(); c != kInvalidNode;
+         c = clients.next(c)) {
         Msg m;
         m.type = MsgType::HomePageOutReq;
         m.dst = c;
@@ -574,7 +573,7 @@ Kernel::onPageInReq(Msg m)
     CoMutex &lk = globalLock(gp);
     co_await lk.acquire();
     co_await homeMapIn(gp);
-    homeClients_[gp] |= 1ULL << client;
+    homeClients_[gp].add(client);
     co_await delay(cfg_.homePageInService);
     ++stats_.pageInRequestsServed;
 
@@ -610,7 +609,7 @@ Kernel::onPageOutNotice(Msg m)
     }
     auto it = homeClients_.find(gp);
     if (it != homeClients_.end())
-        it->second &= ~(1ULL << client);
+        it->second.remove(client);
     Cycles c = ctrl_->homeRemoveClient(gp, client);
     co_await delay(c);
 
@@ -672,15 +671,15 @@ Kernel::migrationFreeFrame(FrameNum f, GPage gp)
     }
 }
 
-std::uint64_t
+SharerSet
 Kernel::homeClients(GPage gp) const
 {
     auto it = homeClients_.find(gp);
-    return it == homeClients_.end() ? 0 : it->second;
+    return it == homeClients_.end() ? SharerSet() : it->second;
 }
 
 void
-Kernel::adoptHomePage(GPage gp, std::uint64_t clients)
+Kernel::adoptHomePage(GPage gp, const SharerSet &clients)
 {
     homeClients_[gp] = clients;
     cachedHome_.erase(gp); // we are the home now

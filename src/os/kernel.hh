@@ -178,8 +178,8 @@ class Kernel
 
     FrameNum migrationAllocFrame(GPage gp);
     void migrationFreeFrame(FrameNum f, GPage gp);
-    std::uint64_t homeClients(GPage gp) const;
-    void adoptHomePage(GPage gp, std::uint64_t clients);
+    SharerSet homeClients(GPage gp) const;
+    void adoptHomePage(GPage gp, const SharerSet &clients);
     void departHomePage(GPage gp);
 
     // --- Memory accounting (Table 3) ------------------------------------
@@ -275,7 +275,7 @@ class Kernel
     std::unordered_map<GPage, std::vector<Msg>> deferredPageIn_;
     std::unordered_set<GPage> dyingPages_;
 
-    std::unordered_map<GPage, std::uint64_t> homeClients_;
+    std::unordered_map<GPage, SharerSet> homeClients_;
     std::unordered_set<GPage> diskPages_;
 
     std::unordered_set<FrameNum> clientScomaFrames_;

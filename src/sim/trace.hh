@@ -26,8 +26,8 @@ struct TraceEvent {
     std::uint64_t gpage = 0;
     std::uint32_t lineIdx = 0;
     std::uint16_t kind = 0; //!< caller-defined discriminator (MsgType)
-    std::uint8_t src = 0;
-    std::uint8_t dst = 0;
+    std::uint16_t src = 0;
+    std::uint16_t dst = 0;
 };
 
 /** Bounded history of TraceEvents; old entries are overwritten. */

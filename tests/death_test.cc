@@ -102,7 +102,7 @@ TEST(Death, DirectoryAdoptPresentPagePanics)
 {
     EXPECT_DEATH(
         {
-            Directory dir(8, 2, 22, 64);
+            Directory dir(8, 2, 22, 64, 8);
             dir.createPage(0x42, DirState::Uncached, kInvalidNode);
             dir.adoptPage(0x42, std::vector<DirEntry>(64));
         },
@@ -113,7 +113,7 @@ TEST(Death, DirectoryReleaseAbsentPagePanics)
 {
     EXPECT_DEATH(
         {
-            Directory dir(8, 2, 22, 64);
+            Directory dir(8, 2, 22, 64, 8);
             dir.releasePage(0x42); // never created
         },
         "releasing an absent page");
@@ -148,13 +148,38 @@ TEST(Death, RegistryPointingAtSelfPanics)
 
 TEST(Death, TooManyNodesIsFatal)
 {
+    // The fatal must name the limit and where it lives so the user
+    // can find the knob instead of guessing.
     EXPECT_DEATH(
         {
             MachineConfig cfg;
-            cfg.numNodes = 100; // sharer bitmasks are 64-bit
+            cfg.numNodes = kMaxNodes + 1;
             Machine m(cfg);
         },
-        "node count");
+        "kMaxNodes");
+}
+
+TEST(Death, ZeroProcsPerNodeIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            MachineConfig cfg;
+            cfg.procsPerNode = 0;
+            Machine m(cfg);
+        },
+        "procsPerNode");
+}
+
+TEST(Death, TooManyProcsIsFatal)
+{
+    EXPECT_DEATH(
+        {
+            MachineConfig cfg;
+            cfg.numNodes = 1024;
+            cfg.procsPerNode = 512; // 512K procs > kMaxProcs
+            Machine m(cfg);
+        },
+        "processor");
 }
 
 } // namespace

@@ -13,14 +13,14 @@ namespace {
 
 TEST(Directory, CreatePageOwned)
 {
-    Directory d(8192, 2, 22, 64);
+    Directory d(8192, 2, 22, 64, 8);
     d.createPage(0x10, DirState::Owned, 3);
     ASSERT_TRUE(d.hasPage(0x10));
-    DirEntry *e = d.line(0x10, 0);
-    ASSERT_NE(e, nullptr);
-    EXPECT_EQ(e->state, DirState::Owned);
-    EXPECT_EQ(e->owner, 3u);
-    EXPECT_EQ(d.line(0x10, 63)->owner, 3u);
+    auto e = d.line(0x10, 0);
+    ASSERT_TRUE(e);
+    EXPECT_EQ(e.state(), DirState::Owned);
+    EXPECT_EQ(e.owner(), 3u);
+    EXPECT_EQ(d.line(0x10, 63).owner(), 3u);
 }
 
 TEST(Directory, SharerBitmaskOps)
@@ -40,31 +40,106 @@ TEST(Directory, SharerBitmaskOps)
 
 TEST(Directory, RemovePage)
 {
-    Directory d(8192, 2, 22, 64);
+    Directory d(8192, 2, 22, 64, 8);
     d.createPage(0x10, DirState::Uncached, 0);
     d.removePage(0x10);
     EXPECT_FALSE(d.hasPage(0x10));
-    EXPECT_EQ(d.line(0x10, 0), nullptr);
+    EXPECT_FALSE(d.line(0x10, 0));
 }
 
 TEST(Directory, ReleaseAndAdoptMovesEntriesVerbatim)
 {
-    Directory a(8192, 2, 22, 64);
-    Directory b(8192, 2, 22, 64);
+    Directory a(8192, 2, 22, 64, 8);
+    Directory b(8192, 2, 22, 64, 8);
     a.createPage(0x10, DirState::Owned, 2);
-    a.line(0x10, 7)->state = DirState::Shared;
-    a.line(0x10, 7)->sharers = 0x15;
+    auto l7 = a.line(0x10, 7);
+    l7.setState(DirState::Shared);
+    l7.addSharer(0);
+    l7.addSharer(2);
+    l7.addSharer(4);
     auto entries = a.releasePage(0x10);
     EXPECT_FALSE(a.hasPage(0x10));
-    b.adoptPage(0x10, std::move(entries));
+    b.adoptPage(0x10, entries);
     ASSERT_TRUE(b.hasPage(0x10));
-    EXPECT_EQ(b.line(0x10, 7)->sharers, 0x15u);
-    EXPECT_EQ(b.line(0x10, 0)->owner, 2u);
+    EXPECT_EQ(b.line(0x10, 7).sharers().lowWord(), 0x15u);
+    EXPECT_EQ(b.line(0x10, 0).owner(), 2u);
+}
+
+TEST(Directory, LineRefStableAcrossGrowth)
+{
+    // The SoA arena allocates pages in fixed chunks, so a LineRef
+    // taken early must stay valid while hundreds of later pages force
+    // the arena to grow (the old per-page hash map invalidated
+    // DirEntry pointers on rehash).
+    Directory d(8192, 2, 22, 64, 8);
+    d.createPage(1, DirState::Owned, 5);
+    auto e = d.line(1, 3);
+    for (GPage gp = 2; gp < 800; ++gp)
+        d.createPage(gp, DirState::Uncached, 0);
+    EXPECT_EQ(e.state(), DirState::Owned);
+    EXPECT_EQ(e.owner(), 5u);
+    e.addSharer(7);
+    EXPECT_TRUE(d.line(1, 3).isSharer(7));
+}
+
+TEST(Directory, SlotReuseAfterRemove)
+{
+    Directory d(8192, 2, 22, 64, 8);
+    for (GPage gp = 0; gp < 100; ++gp)
+        d.createPage(gp, DirState::Shared, 3);
+    std::uint64_t reserved = d.reservedBytes();
+    for (GPage gp = 0; gp < 100; ++gp)
+        d.removePage(gp);
+    EXPECT_EQ(d.numPages(), 0u);
+    // Freed slots are recycled: re-creating the pages must not grow
+    // the arena.
+    for (GPage gp = 200; gp < 300; ++gp)
+        d.createPage(gp, DirState::Uncached, 0);
+    EXPECT_EQ(d.reservedBytes(), reserved);
+    // A recycled slot starts clean.
+    auto e = d.line(250, 0);
+    EXPECT_EQ(e.state(), DirState::Uncached);
+    EXPECT_EQ(e.sharerCount(), 0u);
+}
+
+TEST(Directory, FootprintAccounting)
+{
+    // 8 nodes -> one sharer word: 1 (state) + 2 (owner) + 8 (word).
+    Directory d(8192, 2, 22, 64, 8);
+    EXPECT_EQ(d.bytesPerLine(), 1u + sizeof(NodeId) + 8u);
+    EXPECT_EQ(d.liveBytes(), 0u);
+    d.createPage(0x10, DirState::Uncached, 0);
+    EXPECT_EQ(d.liveBytes(), 64u * d.bytesPerLine());
+    EXPECT_GE(d.reservedBytes(), d.liveBytes());
+    // 1024 nodes -> sixteen sharer words per line.
+    Directory big(8192, 2, 22, 64, 1024);
+    EXPECT_EQ(big.bytesPerLine(), 1u + sizeof(NodeId) + 16u * 8u);
+}
+
+TEST(Directory, WidePageRoundTrip)
+{
+    // Sharers past node 64 survive a release/adopt cycle between two
+    // 1024-node directories.
+    Directory a(8192, 2, 22, 16, 1024);
+    Directory b(8192, 2, 22, 16, 1024);
+    a.createPage(0x10, DirState::Shared, 900);
+    auto e = a.line(0x10, 5);
+    e.addSharer(3);
+    e.addSharer(64);
+    e.addSharer(1023);
+    auto entries = a.releasePage(0x10);
+    b.adoptPage(0x10, entries);
+    auto f = b.line(0x10, 5);
+    EXPECT_TRUE(f.isSharer(900));
+    EXPECT_TRUE(f.isSharer(3));
+    EXPECT_TRUE(f.isSharer(64));
+    EXPECT_TRUE(f.isSharer(1023));
+    EXPECT_EQ(f.sharerCount(), 4u);
 }
 
 TEST(Directory, CacheTimingHitAfterMiss)
 {
-    Directory d(8, 2, 22, 64); // tiny cache: 8 entries
+    Directory d(8, 2, 22, 64, 8); // tiny cache: 8 entries
     d.createPage(0, DirState::Uncached, 0);
     EXPECT_EQ(d.access(100), 22u); // cold miss
     EXPECT_EQ(d.access(100), 2u);  // now cached
@@ -75,7 +150,7 @@ TEST(Directory, CacheTimingHitAfterMiss)
 
 TEST(Directory, CacheConflictEvicts)
 {
-    Directory d(8, 2, 22, 64);
+    Directory d(8, 2, 22, 64, 8);
     EXPECT_EQ(d.access(0), 22u);
     EXPECT_EQ(d.access(8), 22u); // same index, evicts tag 0
     EXPECT_EQ(d.access(0), 22u); // miss again

@@ -92,7 +92,8 @@ TEST(Pit, FirewallFiltersWildWrites)
     Pit pit(2, 18);
     PitEntry &e = pit.install(5, 0x100, 1, 1, 9, PageMode::Scoma, kLines,
                               FgTag::Invalid);
-    e.capabilities = (1ULL << 1) | (1ULL << 2);
+    e.capabilities.add(1);
+    e.capabilities.add(2);
     EXPECT_TRUE(pit.writeAllowed(5, 1));
     EXPECT_TRUE(pit.writeAllowed(5, 2));
     EXPECT_FALSE(pit.writeAllowed(5, 3));

@@ -131,10 +131,10 @@ checkInvariants(Machine &m)
 
     // Per-line checks against the directory.
     for (auto [gp, home] : dir_home) {
-        auto *pg = m.node(home).controller().directory().page(gp);
-        ASSERT_NE(pg, nullptr);
-        for (std::uint32_t li = 0; li < pg->size(); ++li) {
-            const DirEntry &d = (*pg)[li];
+        auto pg = m.node(home).controller().directory().page(gp);
+        ASSERT_TRUE(pg);
+        for (std::uint32_t li = 0; li < pg.size(); ++li) {
+            const DirEntry d = pg.line(li).toEntry();
             const GLine gl = geo.lineOf(gp, li);
             for (NodeId n = 0; n < nodes; ++n) {
                 auto it = views[n].mapped.find(gp);

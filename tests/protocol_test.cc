@@ -109,11 +109,11 @@ TEST(Protocol, RemoteReadCreatesSharers)
     });
 
     auto &home = rig.m.node(0).controller();
-    const DirEntry *d = home.directory().line(rig.gp(0), 0);
-    ASSERT_NE(d, nullptr);
-    EXPECT_EQ(d->state, DirState::Shared);
-    EXPECT_TRUE(d->isSharer(0));
-    EXPECT_TRUE(d->isSharer(1));
+    auto d = home.directory().line(rig.gp(0), 0);
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d.state(), DirState::Shared);
+    EXPECT_TRUE(d.isSharer(0));
+    EXPECT_TRUE(d.isSharer(1));
     // Client node 1 holds the page S-COMA with a Shared tag.
     auto &c1 = rig.m.node(1).controller();
     FrameNum f = c1.pit().frameOf(rig.gp(0));
@@ -139,10 +139,9 @@ TEST(Protocol, WriteInvalidatesAllSharers)
         }(p, rig);
     });
 
-    const DirEntry *d =
-        rig.m.node(0).controller().directory().line(rig.gp(0), 0);
-    EXPECT_EQ(d->state, DirState::Owned);
-    EXPECT_EQ(d->owner, 3u);
+    auto d = rig.m.node(0).controller().directory().line(rig.gp(0), 0);
+    EXPECT_EQ(d.state(), DirState::Owned);
+    EXPECT_EQ(d.owner(), 3u);
     // Every former sharer's tag is Invalid.
     for (NodeId n : {0u, 1u, 2u}) {
         auto &c = rig.m.node(n).controller();
@@ -173,11 +172,10 @@ TEST(Protocol, ThreePartyReadFetchesFromOwner)
         }(p, rig);
     });
 
-    const DirEntry *d =
-        rig.m.node(0).controller().directory().line(rig.gp(0), 0);
-    EXPECT_EQ(d->state, DirState::Shared);
-    EXPECT_TRUE(d->isSharer(1));
-    EXPECT_TRUE(d->isSharer(2));
+    auto d = rig.m.node(0).controller().directory().line(rig.gp(0), 0);
+    EXPECT_EQ(d.state(), DirState::Shared);
+    EXPECT_TRUE(d.isSharer(1));
+    EXPECT_TRUE(d.isSharer(2));
     EXPECT_GE(rig.m.node(1).controller().stats().fetchesServed, 1u);
 }
 
@@ -200,10 +198,9 @@ TEST(Protocol, UpgradeAvoidsDataFetch)
     auto &c1 = rig.m.node(1).controller();
     EXPECT_GE(c1.stats().upgrades, 1u);
     EXPECT_EQ(c1.stats().remoteMisses, rm_before); // no data moved
-    const DirEntry *d =
-        rig.m.node(0).controller().directory().line(rig.gp(0), 0);
-    EXPECT_EQ(d->state, DirState::Owned);
-    EXPECT_EQ(d->owner, 1u);
+    auto d = rig.m.node(0).controller().directory().line(rig.gp(0), 0);
+    EXPECT_EQ(d.state(), DirState::Owned);
+    EXPECT_EQ(d.owner(), 1u);
 }
 
 TEST(Protocol, LaNumaClientMapsImaginaryFrame)
@@ -262,10 +259,11 @@ TEST(Protocol, ClientPageOutWritesBackAndUnmaps)
     EXPECT_EQ(rig.m.node(1).controller().pit().frameOf(rig.gp(0)),
               kInvalidFrame);
     // Home directory no longer lists node 1 anywhere on that page.
-    auto *pg = rig.m.node(0).controller().directory().page(rig.gp(0));
-    ASSERT_NE(pg, nullptr);
-    for (const auto &d : *pg) {
-        EXPECT_FALSE(d.state == DirState::Owned && d.owner == 1);
+    auto pg = rig.m.node(0).controller().directory().page(rig.gp(0));
+    ASSERT_TRUE(pg);
+    for (std::uint32_t li = 0; li < pg.size(); ++li) {
+        auto d = pg.line(li);
+        EXPECT_FALSE(d.state() == DirState::Owned && d.owner() == 1);
         EXPECT_FALSE(d.isSharer(1));
     }
     EXPECT_GE(rig.m.node(1).controller().stats().writebacksSent, 2u);
@@ -316,7 +314,8 @@ TEST(Protocol, FirewallRejectsWildWriteback)
     FrameNum hf = home.pit().frameOf(rig.gp(0));
     ASSERT_NE(hf, kInvalidFrame);
     // Allow only nodes 0 and 1 to write this page remotely.
-    home.pit().entry(hf)->capabilities = 0b0011;
+    home.pit().entry(hf)->capabilities.add(0);
+    home.pit().entry(hf)->capabilities.add(1);
 
     // Craft a forged ownership-less writeback from node 2.
     Msg wild;
@@ -332,9 +331,9 @@ TEST(Protocol, FirewallRejectsWildWriteback)
     EXPECT_EQ(home.stats().firewallRejects, 1u);
     EXPECT_EQ(home.pit().rejectedWrites(), 1u);
     // Directory state is untouched (still Owned by home node 0).
-    const DirEntry *d = home.directory().line(rig.gp(0), 0);
-    EXPECT_EQ(d->state, DirState::Owned);
-    EXPECT_EQ(d->owner, 0u);
+    auto d = home.directory().line(rig.gp(0), 0);
+    EXPECT_EQ(d.state(), DirState::Owned);
+    EXPECT_EQ(d.owner(), 0u);
 }
 
 TEST(Protocol, PrivatePagesStayLocal)

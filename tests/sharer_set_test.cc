@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Property suite for SharerSet/SharerRef (coherence/sharer_set.hh).
+ *
+ * SharerSet replaced the raw std::uint64_t node bitmasks under a
+ * bit-identical-behavior contract at <= 64 nodes, plus a correctness
+ * contract past 64 that the old representation never had.  Two
+ * mechanical checks enforce both:
+ *
+ *  - a randomized op stream (add/remove/test/count/iterate/clear,
+ *    copies, snapshots) driven in lockstep against std::set<NodeId>,
+ *    at widths straddling the inline<->spill boundary;
+ *  - an exhaustive single-word equivalence sweep: every operation on
+ *    a SharerSet built from a random 64-bit mask must agree with the
+ *    direct bitmask expression it replaced, including iteration order
+ *    and the %#llx-style rendering the message log prints.
+ *
+ * Seeds 1..16 run inline; tests/CMakeLists.txt registers 16 extra
+ * ctest entries re-running the sweep under PRISM_PROPERTY_SEED,
+ * mirroring the other property suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <set>
+
+#include "coherence/sharer_set.hh"
+
+namespace prism {
+namespace {
+
+// Widths chosen to straddle the representation boundary: pure inline,
+// the last inline id, the first spilled id, multi-word, and the full
+// kMaxNodes-scale machine.
+constexpr std::uint32_t kWidths[] = {8, 63, 64, 65, 128, 1024};
+
+/** Drive one randomized op stream against std::set<NodeId>. */
+void
+driveAgainstModel(std::uint64_t seed, std::uint32_t width)
+{
+    std::mt19937_64 rng(seed * 2654435761u + width);
+    SharerSet s;
+    std::set<NodeId> model;
+
+    for (int step = 0; step < 2000; ++step) {
+        const NodeId n = static_cast<NodeId>(rng() % width);
+        switch (rng() % 8) {
+          case 0:
+          case 1:
+          case 2:
+            s.add(n);
+            model.insert(n);
+            break;
+          case 3:
+            s.remove(n);
+            model.erase(n);
+            break;
+          case 4:
+            ASSERT_EQ(s.test(n), model.count(n) != 0)
+                << "test(" << n << ") step " << step;
+            break;
+          case 5: {
+            // Full iteration: ascending order, exact membership.
+            auto it = model.begin();
+            for (NodeId m = s.first(); m != kInvalidNode;
+                 m = s.next(m)) {
+                ASSERT_NE(it, model.end()) << "extra member " << m;
+                ASSERT_EQ(m, *it) << "order/membership step " << step;
+                ++it;
+            }
+            ASSERT_EQ(it, model.end()) << "missing members";
+            break;
+          }
+          case 6: {
+            // Copy and snapshot round-trips preserve value equality.
+            SharerSet copy = s;
+            ASSERT_EQ(copy, s);
+            SharerSet snap = SharerSet::fromRef(s.ref());
+            ASSERT_EQ(snap, s);
+            ASSERT_EQ(snap.count(), s.count());
+            break;
+          }
+          case 7:
+            if (rng() % 32 == 0) { // rare full clear
+                s.clear();
+                model.clear();
+            }
+            break;
+        }
+        ASSERT_EQ(s.count(), model.size()) << "count at step " << step;
+        ASSERT_EQ(s.empty(), model.empty());
+    }
+}
+
+TEST(SharerSetProperty, MatchesSetModelAcrossWidths)
+{
+    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+        for (std::uint32_t width : kWidths)
+            driveAgainstModel(seed, width);
+    }
+}
+
+TEST(SharerSetSeedSweep, MatchesSetModel)
+{
+    std::uint64_t seed = 99;
+    if (const char *s = std::getenv("PRISM_PROPERTY_SEED"))
+        seed = std::strtoull(s, nullptr, 10);
+    for (std::uint32_t width : kWidths)
+        driveAgainstModel(seed * 1000 + 17, width);
+}
+
+TEST(SharerSetProperty, SingleWordEquivalentToRawBitmask)
+{
+    // The <= 64-node fast path must agree with every raw-mask idiom it
+    // replaced, operation by operation.
+    std::mt19937_64 rng(42);
+    for (int trial = 0; trial < 4000; ++trial) {
+        const std::uint64_t mask = rng() & rng(); // vary density
+        SharerSet s;
+        for (NodeId n = 0; n < 64; ++n) {
+            if ((mask >> n) & 1)
+                s.add(n);
+        }
+        ASSERT_TRUE(s.isInline());
+        ASSERT_EQ(s.lowWord(), mask);
+        ASSERT_EQ(s.count(),
+                  static_cast<std::uint32_t>(__builtin_popcountll(mask)));
+        ASSERT_EQ(s.empty(), mask == 0);
+
+        const NodeId probe = static_cast<NodeId>(rng() % 64);
+        ASSERT_EQ(s.test(probe), ((mask >> probe) & 1) != 0);
+
+        // remove == `mask & ~(1ULL << n)`
+        SharerSet r = s;
+        r.remove(probe);
+        ASSERT_EQ(r.lowWord(), mask & ~(1ULL << probe));
+
+        // Iteration == the historical ascending probe loop.
+        NodeId it = s.first();
+        for (NodeId n = 0; n < 64; ++n) {
+            if (!((mask >> n) & 1))
+                continue;
+            ASSERT_EQ(it, n);
+            it = s.next(it);
+        }
+        ASSERT_EQ(it, kInvalidNode);
+
+        // Rendering matches the %#llx the message log printed.
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%#llx",
+                      static_cast<unsigned long long>(mask));
+        ASSERT_EQ(s.toString(), buf);
+    }
+}
+
+TEST(SharerSet, SpillBoundary)
+{
+    SharerSet s;
+    s.add(63);
+    EXPECT_TRUE(s.isInline());
+    s.add(64); // first id past the inline word spills
+    EXPECT_FALSE(s.isInline());
+    EXPECT_TRUE(s.test(63));
+    EXPECT_TRUE(s.test(64));
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_EQ(s.first(), 63u);
+    EXPECT_EQ(s.next(63), 64u);
+    EXPECT_EQ(s.next(64), kInvalidNode);
+}
+
+TEST(SharerSet, InlineAndSpilledCompareEqual)
+{
+    SharerSet a;
+    a.add(3);
+    SharerSet b;
+    b.add(900); // forces spill
+    b.remove(900);
+    b.add(3);
+    EXPECT_FALSE(b.isInline());
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(b, a);
+    b.add(900);
+    EXPECT_NE(a, b);
+}
+
+TEST(SharerSet, GrowthPreservesMembers)
+{
+    SharerSet s;
+    s.add(5);
+    s.add(63);
+    s.add(64);   // 1 -> 2 words
+    s.add(500);  // 2 -> 8 words
+    s.add(1023); // 8 -> 16 words
+    EXPECT_TRUE(s.test(5));
+    EXPECT_TRUE(s.test(63));
+    EXPECT_TRUE(s.test(64));
+    EXPECT_TRUE(s.test(500));
+    EXPECT_TRUE(s.test(1023));
+    EXPECT_EQ(s.count(), 5u);
+    // Members iterate ascending across word boundaries.
+    EXPECT_EQ(s.first(), 5u);
+    EXPECT_EQ(s.next(64), 500u);
+    EXPECT_EQ(s.next(500), 1023u);
+}
+
+TEST(SharerSet, TestPastCapacityIsFalseNotUB)
+{
+    SharerSet s;
+    s.add(3);
+    EXPECT_FALSE(s.test(64));   // beyond inline word
+    EXPECT_FALSE(s.test(4095)); // way beyond
+    s.remove(4095);             // no-op, not a crash
+    EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(SharerSet, MoveStealsSpillBlock)
+{
+    SharerSet a;
+    a.add(100);
+    SharerSet b = std::move(a);
+    EXPECT_TRUE(b.test(100));
+    EXPECT_TRUE(a.empty()); // moved-from is a valid empty set
+    a.add(7);               // and usable again
+    EXPECT_EQ(a.count(), 1u);
+}
+
+} // namespace
+} // namespace prism
